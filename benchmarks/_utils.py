@@ -1,0 +1,35 @@
+"""Small helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fisher.operators import FisherDataset
+
+__all__ = ["random_probabilities", "make_random_fisher_dataset"]
+
+
+def random_probabilities(rng: np.random.Generator, n: int, c: int) -> np.ndarray:
+    """Random reduced-parameterization probability rows (sum < 1).
+
+    The benchmarks feed these directly into the Fisher machinery, which (like
+    the paper) works with the ``c - 1``-column parameterization of the
+    multinomial model; generating ``c + 1`` softmax columns and dropping the
+    last produces exactly that sub-stochastic structure.
+    """
+
+    logits = rng.standard_normal((n, c + 1))
+    expd = np.exp(logits - logits.max(axis=1, keepdims=True))
+    return (expd / expd.sum(axis=1, keepdims=True))[:, :c]
+
+
+def make_random_fisher_dataset(n: int, d: int, c: int, seed: int = 0) -> FisherDataset:
+    """Random Fisher dataset with a replicated labeled set of 2 points/class."""
+
+    rng = np.random.default_rng(seed)
+    return FisherDataset(
+        pool_features=rng.standard_normal((n, d)),
+        pool_probabilities=random_probabilities(rng, n, c),
+        labeled_features=rng.standard_normal((2 * c, d)),
+        labeled_probabilities=random_probabilities(rng, 2 * c, c),
+    )

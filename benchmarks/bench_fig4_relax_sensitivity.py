@@ -1,0 +1,99 @@
+"""Figure 4: sensitivity of the fast RELAX solver to the number of Rademacher
+vectors (s) and the CG termination tolerance (cgtol).
+
+The paper plots the relaxed objective f(z) against the mirror-descent
+iteration for s in {10, 20, 100} and cgtol in {0.5, 0.1, 0.01, 0.001},
+together with the exact RELAX trace, and finds the solver insensitive to both
+parameters.  This benchmark reruns that study on scaled CIFAR-10-like and
+ImageNet-50-like problems and asserts that (a) every approximate trace ends
+close to the exact one and (b) the spread across parameter settings is small.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.approx_relax import approx_relax
+from repro.core.config import RelaxConfig
+from repro.core.exact_relax import exact_relax
+from repro.datasets.registry import DatasetSpec, build_problem
+from repro.fisher.operators import FisherDataset
+from repro.models.logistic_regression import LogisticRegressionClassifier
+from repro.models.softmax import reduced_probabilities
+
+CONFIGS = {
+    "cifar10-like": DatasetSpec("cifar10-like", 10, 20, 1, 200, 1, 10, 100),
+    "imagenet-50-like": DatasetSpec("imagenet-50-like", 15, 16, 1, 200, 1, 15, 100),
+}
+ITERATIONS = 12
+PROBE_COUNTS = (5, 10, 40)
+CG_TOLERANCES = (0.5, 0.1, 0.01)
+
+
+def _round_one_dataset(spec: DatasetSpec, seed: int = 0) -> tuple:
+    problem = build_problem(spec, seed=seed)
+    clf = LogisticRegressionClassifier(problem.num_classes)
+    clf.fit(problem.initial_features, problem.initial_labels)
+    dataset = FisherDataset(
+        pool_features=problem.pool_features,
+        pool_probabilities=reduced_probabilities(clf.predict_proba(problem.pool_features)),
+        labeled_features=problem.initial_features,
+        labeled_probabilities=reduced_probabilities(clf.predict_proba(problem.initial_features)),
+    )
+    return dataset, spec.budget_per_round
+
+
+def _trace(dataset, budget, **overrides):
+    config = RelaxConfig(
+        max_iterations=ITERATIONS,
+        objective_tolerance=0.0,
+        track_objective="exact",
+        seed=0,
+        **overrides,
+    )
+    return approx_relax(dataset, budget, config).objective_trace
+
+
+def test_fig4_relax_sensitivity(benchmark, results_writer):
+    lines = ["# Figure 4 reproduction (scaled): RELAX objective vs iteration for varying s and cgtol"]
+    summary = {}
+    for name, spec in CONFIGS.items():
+        dataset, budget = _round_one_dataset(spec)
+        exact_trace = exact_relax(
+            dataset, budget, RelaxConfig(max_iterations=ITERATIONS, objective_tolerance=0.0)
+        ).objective_trace
+
+        traces = {"exact": exact_trace}
+        for s in PROBE_COUNTS:
+            traces[f"s={s}"] = _trace(dataset, budget, num_probes=s, cg_tolerance=0.1)
+        for tol in CG_TOLERANCES:
+            traces[f"cgtol={tol}"] = _trace(dataset, budget, num_probes=10, cg_tolerance=tol)
+        summary[name] = traces
+
+        lines.append(f"\n## {name} (b={budget})")
+        lines.append("iteration " + " ".join(f"{k:>12}" for k in traces))
+        length = min(len(t) for t in traces.values())
+        for i in range(length):
+            lines.append(f"{i + 1:>9d} " + " ".join(f"{traces[k][i]:>12.4f}" for k in traces))
+    text = "\n".join(lines)
+    results_writer("fig4_relax_sensitivity", text)
+    print(text)
+
+    # Shape assertions: every approximate final objective is within a few
+    # percent of the exact final objective, i.e. insensitivity to s and cgtol.
+    for name, traces in summary.items():
+        exact_final = traces["exact"][-1]
+        for key, trace in traces.items():
+            if key == "exact":
+                continue
+            assert abs(trace[-1] - exact_final) / abs(exact_final) < 0.10, (name, key)
+
+    # Benchmark one approximate RELAX solve (default parameters, CIFAR-like).
+    dataset, budget = _round_one_dataset(CONFIGS["cifar10-like"])
+    benchmark.pedantic(
+        lambda: approx_relax(
+            dataset, budget, RelaxConfig(max_iterations=5, track_objective="none", seed=0)
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,112 @@
+"""Figure 5: single-node sensitivity of RELAX and ROUND to d and c.
+
+The paper fixes the pool size and sweeps the feature dimension
+(d = 383/766/1022 with c = 1000) and the class count
+(c = 100...1000 with d = 383), reporting per-component wall-clock next to the
+theoretical peak estimate.  This benchmark performs the same sweeps at scaled
+sizes (same 1x/2x/2.7x dimension ratios, same 1x...10x class ratios), using
+the measured serial solvers plus the analytic model for the theoretical
+column.  Shapes to reproduce:
+
+* RELAX: preconditioner cost grows superlinearly (~d^2 per point, d^3 for the
+  inverse) while CG grows ~linearly in d; both grow ~linearly in c.
+* ROUND: eigenvalue and objective costs grow ~linearly in c, superlinearly in d.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.approx_relax import approx_relax
+from repro.core.approx_round import approx_round
+from repro.core.config import RelaxConfig, RoundConfig
+from repro.fisher.operators import FisherDataset
+from repro.perfmodel.machine import A100_MACHINE
+from repro.perfmodel.relax_model import relax_step_model
+from repro.perfmodel.round_model import round_step_model
+from benchmarks._utils import random_probabilities
+
+POOL_SIZE = 600
+D_SWEEP = (24, 48, 64)   # same 1x / 2x / ~2.7x ratios as 383 / 766 / 1022
+C_SWEEP = (4, 8, 16, 32, 40)  # same 1x ... 10x span as 100 ... 1000
+FIXED_C = 16
+FIXED_D = 24
+
+
+def _make_dataset(n: int, d: int, c: int, seed: int = 0) -> FisherDataset:
+    rng = np.random.default_rng(seed)
+    return FisherDataset(
+        pool_features=rng.standard_normal((n, d)),
+        pool_probabilities=random_probabilities(rng, n, c),
+        labeled_features=rng.standard_normal((2 * c, d)),
+        labeled_probabilities=random_probabilities(rng, 2 * c, c),
+    )
+
+
+def _relax_components(dataset: FisherDataset) -> dict:
+    result = approx_relax(
+        dataset,
+        budget=10,
+        config=RelaxConfig(max_iterations=1, track_objective="none", objective_tolerance=0.0, seed=0),
+    )
+    return result.timings.as_dict()
+
+
+def _round_components(dataset: FisherDataset) -> dict:
+    z = np.full(dataset.num_pool, 10.0 / dataset.num_pool)
+    result = approx_round(dataset, z, budget=1, eta=1.0, config=RoundConfig(eta=1.0))
+    return result.timings.as_dict()
+
+
+def test_fig5_single_node_sensitivity(benchmark, results_writer):
+    lines = ["# Figure 5 reproduction (scaled): single-node component times vs d and c"]
+
+    # --- RELAX and ROUND vs d (c fixed) -------------------------------------
+    relax_d, round_d = {}, {}
+    lines.append(f"\n## sweep over d (c={FIXED_C}, n={POOL_SIZE}); measured seconds | modeled A100 seconds")
+    lines.append(f"{'d':>5} {'relax precond':>22} {'relax cg':>22} {'round eig':>22} {'round obj':>22}")
+    for d in D_SWEEP:
+        dataset = _make_dataset(POOL_SIZE, d, FIXED_C)
+        relax_d[d] = _relax_components(dataset)
+        round_d[d] = _round_components(dataset)
+        model_r = relax_step_model(A100_MACHINE, num_points=POOL_SIZE, dimension=d, num_classes=FIXED_C)
+        model_o = round_step_model(A100_MACHINE, num_points=POOL_SIZE, dimension=d, num_classes=FIXED_C)
+        lines.append(
+            f"{d:>5d} {relax_d[d]['setup_preconditioner']:>10.4f}|{model_r['setup_preconditioner']:<11.2e} "
+            f"{relax_d[d]['cg']:>10.4f}|{model_r['cg']:<11.2e} "
+            f"{round_d[d]['compute_eigenvalues']:>10.4f}|{model_o['compute_eigenvalues']:<11.2e} "
+            f"{round_d[d]['objective_function']:>10.4f}|{model_o['objective_function']:<11.2e}"
+        )
+
+    # --- RELAX and ROUND vs c (d fixed) -------------------------------------
+    relax_c, round_c = {}, {}
+    lines.append(f"\n## sweep over c (d={FIXED_D}, n={POOL_SIZE}); measured seconds | modeled A100 seconds")
+    lines.append(f"{'c':>5} {'relax precond':>22} {'relax cg':>22} {'round eig':>22} {'round obj':>22}")
+    for c in C_SWEEP:
+        dataset = _make_dataset(POOL_SIZE, FIXED_D, c)
+        relax_c[c] = _relax_components(dataset)
+        round_c[c] = _round_components(dataset)
+        model_r = relax_step_model(A100_MACHINE, num_points=POOL_SIZE, dimension=FIXED_D, num_classes=c)
+        model_o = round_step_model(A100_MACHINE, num_points=POOL_SIZE, dimension=FIXED_D, num_classes=c)
+        lines.append(
+            f"{c:>5d} {relax_c[c]['setup_preconditioner']:>10.4f}|{model_r['setup_preconditioner']:<11.2e} "
+            f"{relax_c[c]['cg']:>10.4f}|{model_r['cg']:<11.2e} "
+            f"{round_c[c]['compute_eigenvalues']:>10.4f}|{model_o['compute_eigenvalues']:<11.2e} "
+            f"{round_c[c]['objective_function']:>10.4f}|{model_o['objective_function']:<11.2e}"
+        )
+
+    text = "\n".join(lines)
+    results_writer("fig5_single_node", text)
+    print(text)
+
+    # Shape assertions.
+    # (A)/(C): increasing d increases every major component.
+    assert relax_d[D_SWEEP[-1]]["setup_preconditioner"] > relax_d[D_SWEEP[0]]["setup_preconditioner"]
+    assert round_d[D_SWEEP[-1]]["compute_eigenvalues"] > round_d[D_SWEEP[0]]["compute_eigenvalues"]
+    # (B)/(D): increasing c by 10x increases the c-linear components substantially.
+    assert relax_c[C_SWEEP[-1]]["setup_preconditioner"] > 2.0 * relax_c[C_SWEEP[0]]["setup_preconditioner"]
+    assert round_c[C_SWEEP[-1]]["objective_function"] > 2.0 * round_c[C_SWEEP[0]]["objective_function"]
+
+    # pytest-benchmark entry: one RELAX mirror-descent iteration at the largest d.
+    dataset = _make_dataset(POOL_SIZE, D_SWEEP[-1], FIXED_C)
+    benchmark.pedantic(lambda: _relax_components(dataset), rounds=1, iterations=1)

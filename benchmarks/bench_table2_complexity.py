@@ -1,0 +1,55 @@
+"""Table II: storage / computation complexity, Exact-FIRAL vs Approx-FIRAL.
+
+For each accuracy dataset of Table V (plus the ImageNet-1k HPC configuration)
+this benchmark evaluates the closed-form complexity estimates and reports the
+Exact/Approx ratios.  The paper's qualitative claim to reproduce: the ratios
+grow with ``c`` and ``d`` and reach orders of magnitude at Caltech-101 /
+ImageNet scale.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.registry import PAPER_DATASETS
+from repro.perfmodel.complexity import (
+    approx_firal_complexity,
+    exact_firal_complexity,
+    speedup_summary,
+)
+
+
+def _build_table() -> str:
+    header = (
+        f"{'dataset':>16} {'n':>8} {'d':>5} {'c':>5} {'b':>5} "
+        f"{'exact_store':>12} {'approx_store':>12} {'store_x':>9} "
+        f"{'exact_flops':>12} {'approx_flops':>12} {'flops_x':>9}"
+    )
+    lines = ["# Table II reproduction: Exact vs Approx complexity (RELAX+ROUND)", header]
+    for spec in PAPER_DATASETS.values():
+        n, d, c = spec.pool_size, spec.dimension, spec.num_classes
+        b = spec.budget_per_round
+        exact = exact_firal_complexity(n, d, c, b)
+        approx = approx_firal_complexity(n, d, c, b)
+        ratios = speedup_summary(n, d, c, b)
+        exact_store = exact["relax"].storage_elements
+        approx_store = approx["relax"].storage_elements
+        exact_flops = exact["relax"].computation_flops + exact["round"].computation_flops
+        approx_flops = approx["relax"].computation_flops + approx["round"].computation_flops
+        lines.append(
+            f"{spec.name:>16} {n:>8d} {d:>5d} {c:>5d} {b:>5d} "
+            f"{exact_store:>12.3e} {approx_store:>12.3e} {ratios['relax_storage']:>9.1f} "
+            f"{exact_flops:>12.3e} {approx_flops:>12.3e} "
+            f"{(exact_flops / approx_flops):>9.1f}"
+        )
+    return "\n".join(lines)
+
+
+def test_table2_complexity(benchmark, results_writer):
+    table = benchmark(_build_table)
+    results_writer("table2_complexity", table)
+
+    # Shape assertions: the advantage must grow with problem size.
+    small = speedup_summary(3000, 20, 10, 10)
+    large = speedup_summary(50_000, 383, 1000, 200)
+    assert large["round_computation"] > small["round_computation"]
+    assert large["relax_storage"] > small["relax_storage"]
+    print(table)

@@ -1,0 +1,80 @@
+"""Table III: direct (dense) vs matrix-free Hessian matvec.
+
+Measures wall-clock time and memory footprint of the two matvec strategies
+for growing ``(d, c)`` and checks the fast kernel's advantage grows with the
+problem size, as the ``O(d^2 c^2)`` vs ``O(dc)`` complexities dictate.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.fisher.hessian import point_hessian_dense
+from repro.fisher.matvec import single_point_hessian_matvec
+from repro.perfmodel.complexity import matvec_complexity
+
+
+CASES = [(16, 4), (32, 8), (64, 16), (128, 32)]
+
+
+def _measure_case(d: int, c: int, repeats: int = 5):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(d)
+    h = rng.dirichlet(np.ones(c))
+    v = rng.standard_normal(d * c)
+
+    start = time.perf_counter()
+    dense = point_hessian_dense(x, h)
+    build_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        direct = dense @ v
+    direct_seconds = (time.perf_counter() - start) / repeats
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fast = single_point_hessian_matvec(x, h, v)
+    fast_seconds = (time.perf_counter() - start) / repeats
+
+    np.testing.assert_allclose(fast, direct, rtol=1e-8, atol=1e-9)
+    return build_seconds, direct_seconds, fast_seconds
+
+
+def test_table3_matvec(benchmark, results_writer):
+    lines = [
+        "# Table III reproduction: direct vs fast (matrix-free) Hessian matvec",
+        f"{'d':>6} {'c':>6} {'direct_storage':>15} {'fast_storage':>13} "
+        f"{'direct_s':>12} {'fast_s':>12} {'speedup':>9}",
+    ]
+    speedups = []
+    for d, c in CASES:
+        build_s, direct_s, fast_s = _measure_case(d, c)
+        table = matvec_complexity(d, c)
+        speedup = (direct_s + build_s) / max(fast_s, 1e-12)
+        speedups.append(speedup)
+        lines.append(
+            f"{d:>6d} {c:>6d} {table['direct'].storage_elements:>15.3e} "
+            f"{table['fast'].storage_elements:>13.3e} {direct_s + build_s:>12.3e} "
+            f"{fast_s:>12.3e} {speedup:>9.1f}"
+        )
+    text = "\n".join(lines)
+    results_writer("table3_matvec", text)
+    print(text)
+
+    # Time the fast kernel itself at the largest size with pytest-benchmark.
+    d, c = CASES[-1]
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(d)
+    h = rng.dirichlet(np.ones(c))
+    v = rng.standard_normal(d * c)
+    benchmark(lambda: single_point_hessian_matvec(x, h, v))
+
+    # Shape assertion: the fast matvec wins, and wins more at larger sizes
+    # (including the cost of forming the dense Hessian, which is what the
+    # storage column of Table III reflects).
+    assert speedups[-1] > 1.0
+    assert speedups[-1] > speedups[0]

@@ -1,0 +1,60 @@
+"""Table IV: storage / computation / communication of parallel Approx-FIRAL.
+
+Evaluates the analytic per-component model for the paper's two HPC
+configurations (ImageNet-1k: n=1.3M, d=383, c=1000; extended CIFAR-10: n=3M,
+d=512, c=10) across 1-12 ranks, and checks the qualitative behaviour Table IV
+encodes: compute terms scale like 1/p while communication grows like log p.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perfmodel.machine import A100_MACHINE
+from repro.perfmodel.relax_model import relax_step_model
+from repro.perfmodel.round_model import round_step_model
+
+CONFIGS = {
+    "imagenet-1k": dict(num_points=1_300_000, dimension=383, num_classes=1000),
+    "extended-cifar10": dict(num_points=3_000_000, dimension=512, num_classes=10),
+}
+RANKS = (1, 2, 3, 6, 12)
+
+
+def _build_table() -> str:
+    lines = ["# Table IV reproduction: modeled per-iteration time of parallel Approx-FIRAL"]
+    for name, cfg in CONFIGS.items():
+        lines.append(f"\n## {name}: n={cfg['num_points']}, d={cfg['dimension']}, c={cfg['num_classes']}")
+        lines.append(
+            f"{'step':>6} {'p':>3} {'precond/obj':>12} {'cg/eig':>12} {'grad/other':>12} "
+            f"{'comm':>12} {'total':>12}"
+        )
+        for p in RANKS:
+            relax = relax_step_model(A100_MACHINE, num_ranks=p, **cfg)
+            lines.append(
+                f"{'relax':>6} {p:>3d} {relax['setup_preconditioner']:>12.4e} {relax['cg']:>12.4e} "
+                f"{relax['gradient']:>12.4e} {relax['communication']:>12.4e} {relax['total']:>12.4e}"
+            )
+        for p in RANKS:
+            rnd = round_step_model(A100_MACHINE, num_ranks=p, **cfg)
+            lines.append(
+                f"{'round':>6} {p:>3d} {rnd['objective_function']:>12.4e} "
+                f"{rnd['compute_eigenvalues']:>12.4e} {rnd['other']:>12.4e} "
+                f"{rnd['communication']:>12.4e} {rnd['total']:>12.4e}"
+            )
+    return "\n".join(lines)
+
+
+def test_table4_parallel_model(benchmark, results_writer):
+    table = benchmark(_build_table)
+    results_writer("table4_parallel_model", table)
+    print(table)
+
+    for cfg in CONFIGS.values():
+        serial = relax_step_model(A100_MACHINE, num_ranks=1, **cfg)
+        parallel = relax_step_model(A100_MACHINE, num_ranks=12, **cfg)
+        # The pool-proportional CG term must scale close to 1/p ...
+        assert parallel["cg"] == pytest.approx(serial["cg"] / 12, rel=0.05)
+        # ... while communication only appears for p > 1 and grows with p.
+        assert serial["communication"] == 0.0
+        assert parallel["communication"] > relax_step_model(A100_MACHINE, num_ranks=2, **cfg)["communication"]

@@ -1,0 +1,33 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+scale (the full Table V / § IV-C sizes need A100 GPUs; the reduced runs keep
+the same structure — classes, dimensionality ratios, rank counts — so the
+*shape* of each result is reproduced).  Each benchmark also writes a plain
+text artifact under ``benchmarks/results/`` with the rows/series the paper
+reports, which EXPERIMENTS.md indexes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> pathlib.Path:
+    """Persist a benchmark artifact (one text file per table/figure)."""
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def results_writer():
+    """Fixture handing benchmarks the artifact writer."""
+
+    return write_result

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Compare all five selection methods of the paper on balanced and imbalanced pools.
+
+Reproduces a miniature version of Fig. 2: Random, K-Means, Entropy,
+Exact-FIRAL and Approx-FIRAL on a CIFAR-10-like dataset and its imbalanced
+variant (10x class-size ratio).  Stochastic baselines are averaged over
+several trials, as in the paper.
+
+Run with::
+
+    python examples/compare_methods.py
+"""
+
+from __future__ import annotations
+
+from repro import ApproxFIRAL, ExactFIRAL, RelaxConfig, RoundConfig, build_problem
+from repro.active import run_active_learning, run_trials
+from repro.active.results import compare_final_accuracy
+from repro.baselines import EntropyStrategy, FIRALStrategy, KMeansStrategy, RandomStrategy
+
+ROUNDS = 3
+BUDGET = 10
+TRIALS = 5
+
+
+def approx_firal():
+    return FIRALStrategy(
+        ApproxFIRAL(
+            RelaxConfig(max_iterations=15, track_objective="none", seed=0),
+            RoundConfig(eta=1.0),
+        )
+    )
+
+
+def exact_firal():
+    return FIRALStrategy(ExactFIRAL(RelaxConfig(max_iterations=15), RoundConfig(eta=1.0)))
+
+
+def run_on(dataset_name: str) -> None:
+    problem = build_problem(dataset_name, scale=0.08, seed=2)
+    print(f"\n=== {dataset_name}: {problem.summary()} ===")
+
+    aggregates = []
+    for factory, trials in ((RandomStrategy, TRIALS), (KMeansStrategy, TRIALS), (EntropyStrategy, 1)):
+        agg = run_trials(
+            problem, factory, num_rounds=ROUNDS, budget_per_round=BUDGET, num_trials=trials, seed=0
+        )
+        aggregates.append(agg)
+        print()
+        print(agg.to_table())
+
+    for name, strategy in (("exact-firal", exact_firal()), ("approx-firal", approx_firal())):
+        result = run_active_learning(
+            problem, strategy, num_rounds=ROUNDS, budget_per_round=BUDGET, seed=0
+        )
+        print()
+        print(result.to_table())
+
+    print()
+    print(compare_final_accuracy(aggregates))
+
+
+def main() -> None:
+    run_on("cifar10")
+    run_on("imb-cifar10")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro — reproduction of "A Scalable Algorithm for Active Learning" (SC24).
+
+The package implements the Approx-FIRAL active-learning algorithm (the
+paper's contribution), the Exact-FIRAL baseline it accelerates, the
+classical baselines it is compared against, the Fisher-information and
+iterative-solver substrates they require, a simulated multi-rank parallel
+runtime with an analytic performance model reproducing the paper's HPC
+studies, and synthetic dataset generators standing in for the paper's feature
+embeddings.
+
+Quickstart::
+
+    from repro import ApproxFIRAL, build_problem, run_active_learning
+    from repro.baselines import FIRALStrategy
+
+    problem = build_problem("cifar10", scale=0.05, seed=0)
+    strategy = FIRALStrategy(ApproxFIRAL())
+    result = run_active_learning(problem, strategy, num_rounds=3, budget_per_round=10)
+    print(result.to_table())
+"""
+
+from repro.backend import DEFAULT_DTYPE, default_dtype, set_default_dtype
+from repro.core import (
+    ApproxFIRAL,
+    ExactFIRAL,
+    RelaxConfig,
+    RoundConfig,
+    SelectionResult,
+    approx_relax,
+    approx_round,
+    exact_relax,
+    exact_round,
+)
+from repro.fisher import FisherDataset
+from repro.models import LogisticRegressionClassifier
+from repro.datasets import DatasetSpec, build_problem, get_dataset_spec, list_dataset_names
+from repro.active import ActiveLearningProblem, run_active_learning, run_trials
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "DEFAULT_DTYPE",
+    "default_dtype",
+    "set_default_dtype",
+    "ApproxFIRAL",
+    "ExactFIRAL",
+    "RelaxConfig",
+    "RoundConfig",
+    "SelectionResult",
+    "approx_relax",
+    "approx_round",
+    "exact_relax",
+    "exact_round",
+    "FisherDataset",
+    "LogisticRegressionClassifier",
+    "DatasetSpec",
+    "build_problem",
+    "get_dataset_spec",
+    "list_dataset_names",
+    "ActiveLearningProblem",
+    "run_active_learning",
+    "run_trials",
+]

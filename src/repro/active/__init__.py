@@ -1,0 +1,21 @@
+"""Active-learning experiment harness.
+
+Implements the evaluation protocol of § IV-A: starting from a small labeled
+set (one or two points per class), run several rounds in which a selection
+strategy picks ``b`` pool points, an oracle reveals their labels, and a
+multinomial logistic-regression classifier is retrained; record pool accuracy
+and evaluation accuracy after every round (the curves of Figs. 2 and 3).
+"""
+
+from repro.active.problem import ActiveLearningProblem
+from repro.active.experiment import run_active_learning, run_trials
+from repro.active.results import AggregateResult, ExperimentResult, RoundRecord
+
+__all__ = [
+    "ActiveLearningProblem",
+    "run_active_learning",
+    "run_trials",
+    "ExperimentResult",
+    "AggregateResult",
+    "RoundRecord",
+]

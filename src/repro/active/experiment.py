@@ -1,0 +1,187 @@
+"""Active-learning experiment driver (the Fig. 2 / Fig. 3 protocol).
+
+One experiment runs as follows (matching § IV-A):
+
+1. Train the multinomial logistic-regression classifier on the current
+   labeled set (initially one or two points per class).
+2. Record pool accuracy, evaluation accuracy and class-balanced evaluation
+   accuracy.
+3. Ask the selection strategy for ``b`` pool indices, reveal their labels,
+   and move them into the labeled set.
+4. Repeat for the configured number of rounds; record accuracy once more
+   after the final batch.
+
+The classifier hyperparameters stay fixed across rounds.  Stochastic
+strategies (Random, K-Means) are repeated over several trials and aggregated
+with mean ± std (the paper uses 10 trials).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.active.problem import ActiveLearningProblem
+from repro.active.results import AggregateResult, ExperimentResult, RoundRecord
+from repro.baselines.base import SelectionContext, SelectionStrategy
+from repro.models.logistic_regression import LogisticRegressionClassifier
+from repro.models.metrics import accuracy, class_balanced_accuracy
+from repro.utils.random import as_generator, spawn_generators
+from repro.utils.validation import require
+
+__all__ = ["run_active_learning", "run_trials"]
+
+
+def _evaluate(
+    classifier: LogisticRegressionClassifier,
+    problem: ActiveLearningProblem,
+    pool_features: np.ndarray,
+    pool_labels: np.ndarray,
+    num_labeled: int,
+    selection_seconds: float,
+) -> RoundRecord:
+    pool_acc = (
+        accuracy(pool_labels, classifier.predict(pool_features)) if pool_features.shape[0] > 0 else 1.0
+    )
+    eval_pred = classifier.predict(problem.eval_features)
+    return RoundRecord(
+        num_labeled=num_labeled,
+        pool_accuracy=pool_acc,
+        eval_accuracy=accuracy(problem.eval_labels, eval_pred),
+        balanced_eval_accuracy=class_balanced_accuracy(
+            problem.eval_labels, eval_pred, problem.num_classes
+        ),
+        selection_seconds=selection_seconds,
+    )
+
+
+def run_active_learning(
+    problem: ActiveLearningProblem,
+    strategy: SelectionStrategy,
+    *,
+    num_rounds: int,
+    budget_per_round: int,
+    classifier: Optional[LogisticRegressionClassifier] = None,
+    seed=0,
+    record_initial: bool = True,
+) -> ExperimentResult:
+    """Run one active-learning experiment and return its accuracy curve.
+
+    Parameters
+    ----------
+    problem:
+        The dataset triple (initial labeled / pool / evaluation).
+    strategy:
+        Batch selection method.
+    num_rounds:
+        Number of selection rounds.
+    budget_per_round:
+        Points labeled per round (``b``).
+    classifier:
+        Optional pre-configured classifier; defaults to an L2-regularized
+        multinomial logistic regression, fixed across rounds as in the paper.
+    seed:
+        Seed for the strategy's RNG stream.
+    record_initial:
+        Whether to record the accuracy of the classifier trained only on the
+        initial labeled set (the leftmost point of the Fig. 2 curves).
+    """
+
+    require(num_rounds > 0, "num_rounds must be positive")
+    require(budget_per_round > 0, "budget_per_round must be positive")
+    require(
+        num_rounds * budget_per_round <= problem.pool_size,
+        "total budget exceeds the pool size",
+    )
+
+    rng = as_generator(seed)
+    clf = classifier if classifier is not None else LogisticRegressionClassifier(problem.num_classes)
+
+    labeled_features = problem.initial_features.copy()
+    labeled_labels = problem.initial_labels.copy()
+    pool_features = problem.pool_features.copy()
+    pool_labels = problem.pool_labels.copy()
+
+    result = ExperimentResult(strategy_name=strategy.name, dataset_name=problem.name)
+
+    clf.fit(labeled_features, labeled_labels)
+    if record_initial:
+        result.records.append(
+            _evaluate(clf, problem, pool_features, pool_labels, labeled_labels.shape[0], 0.0)
+        )
+
+    for _ in range(num_rounds):
+        pool_probabilities = clf.predict_proba(pool_features)
+        labeled_probabilities = clf.predict_proba(labeled_features)
+        context = SelectionContext(
+            pool_features=pool_features,
+            pool_probabilities=pool_probabilities,
+            labeled_features=labeled_features,
+            labeled_probabilities=labeled_probabilities,
+            budget=budget_per_round,
+            rng=rng,
+        )
+        start = time.perf_counter()
+        selected = np.asarray(strategy.select(context), dtype=np.int64)
+        selection_seconds = time.perf_counter() - start
+
+        # Oracle labeling: move the selected points from the pool to the labeled set.
+        labeled_features = np.concatenate([labeled_features, pool_features[selected]], axis=0)
+        labeled_labels = np.concatenate([labeled_labels, pool_labels[selected]], axis=0)
+        keep = np.ones(pool_features.shape[0], dtype=bool)
+        keep[selected] = False
+        pool_features = pool_features[keep]
+        pool_labels = pool_labels[keep]
+
+        clf.fit(labeled_features, labeled_labels)
+        result.records.append(
+            _evaluate(
+                clf, problem, pool_features, pool_labels, labeled_labels.shape[0], selection_seconds
+            )
+        )
+
+    return result
+
+
+def run_trials(
+    problem: ActiveLearningProblem,
+    strategy_factory,
+    *,
+    num_rounds: int,
+    budget_per_round: int,
+    num_trials: int = 1,
+    seed=0,
+    classifier_factory=None,
+) -> AggregateResult:
+    """Repeat an experiment over ``num_trials`` seeds and aggregate.
+
+    ``strategy_factory`` is called once per trial (so stateful strategies are
+    rebuilt) and must return a :class:`SelectionStrategy`.  Deterministic
+    strategies can safely use ``num_trials=1``.
+    """
+
+    require(num_trials > 0, "num_trials must be positive")
+    trial_rngs = spawn_generators(seed, num_trials)
+    trials = []
+    strategy_name = None
+    for trial_rng in trial_rngs:
+        strategy = strategy_factory()
+        strategy_name = strategy.name
+        classifier = classifier_factory() if classifier_factory is not None else None
+        trials.append(
+            run_active_learning(
+                problem,
+                strategy,
+                num_rounds=num_rounds,
+                budget_per_round=budget_per_round,
+                classifier=classifier,
+                seed=trial_rng,
+            )
+        )
+    return AggregateResult(
+        strategy_name=strategy_name or "strategy",
+        dataset_name=problem.name,
+        trials=trials,
+    )

@@ -1,0 +1,95 @@
+"""Container describing one active-learning problem instance.
+
+A problem bundles the three point sets of the paper's protocol (Table V):
+
+* the initial labeled set ``X_o`` (one or two points per class),
+* the unlabeled pool ``X_u`` from which batches are selected (the oracle
+  labels are stored alongside but are only revealed upon selection),
+* the evaluation set used for the "evaluation accuracy" curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_features, check_labels, require
+
+__all__ = ["ActiveLearningProblem"]
+
+
+@dataclass
+class ActiveLearningProblem:
+    """One instance of the batch active-learning problem.
+
+    Attributes
+    ----------
+    initial_features / initial_labels:
+        The initially labeled points ``X_o``.
+    pool_features / pool_labels:
+        The unlabeled pool ``X_u``; ``pool_labels`` plays the oracle.
+    eval_features / eval_labels:
+        Held-out evaluation data.
+    num_classes:
+        Total number of classes ``c``.
+    name:
+        Optional human-readable dataset name (e.g. ``"imb-cifar10"``).
+    """
+
+    initial_features: np.ndarray
+    initial_labels: np.ndarray
+    pool_features: np.ndarray
+    pool_labels: np.ndarray
+    eval_features: np.ndarray
+    eval_labels: np.ndarray
+    num_classes: int
+    name: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        self.initial_features = check_features(self.initial_features, "initial_features")
+        self.pool_features = check_features(self.pool_features, "pool_features")
+        self.eval_features = check_features(self.eval_features, "eval_features")
+        self.initial_labels = check_labels(self.initial_labels, self.num_classes, "initial_labels")
+        self.pool_labels = check_labels(self.pool_labels, self.num_classes, "pool_labels")
+        self.eval_labels = check_labels(self.eval_labels, self.num_classes, "eval_labels")
+        require(
+            self.initial_features.shape[0] == self.initial_labels.shape[0],
+            "initial features and labels must align",
+        )
+        require(
+            self.pool_features.shape[0] == self.pool_labels.shape[0],
+            "pool features and labels must align",
+        )
+        require(
+            self.eval_features.shape[0] == self.eval_labels.shape[0],
+            "eval features and labels must align",
+        )
+        dims = {
+            self.initial_features.shape[1],
+            self.pool_features.shape[1],
+            self.eval_features.shape[1],
+        }
+        require(len(dims) == 1, "all point sets must share the feature dimension")
+        require(self.num_classes >= 2, "num_classes must be at least 2")
+
+    @property
+    def dimension(self) -> int:
+        return int(self.pool_features.shape[1])
+
+    @property
+    def pool_size(self) -> int:
+        return int(self.pool_features.shape[0])
+
+    @property
+    def initial_size(self) -> int:
+        return int(self.initial_features.shape[0])
+
+    def summary(self) -> str:
+        """One-line description in the style of a Table V row."""
+
+        return (
+            f"{self.name}: c={self.num_classes}, d={self.dimension}, "
+            f"|Xo|={self.initial_size}, |Xu|={self.pool_size}, "
+            f"|eval|={self.eval_features.shape[0]}"
+        )

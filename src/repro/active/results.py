@@ -1,0 +1,147 @@
+"""Result containers for active-learning experiments.
+
+``ExperimentResult`` stores one accuracy curve (one strategy, one trial);
+``AggregateResult`` summarizes several trials with mean ± std, which is how
+the paper reports the stochastic baselines (Random and K-Means are averaged
+over 10 trials in § IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.utils.validation import require
+
+__all__ = ["RoundRecord", "ExperimentResult", "AggregateResult"]
+
+
+@dataclass
+class RoundRecord:
+    """Accuracy snapshot after retraining on a given number of labels."""
+
+    num_labeled: int
+    pool_accuracy: float
+    eval_accuracy: float
+    balanced_eval_accuracy: float
+    selection_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "num_labeled": float(self.num_labeled),
+            "pool_accuracy": self.pool_accuracy,
+            "eval_accuracy": self.eval_accuracy,
+            "balanced_eval_accuracy": self.balanced_eval_accuracy,
+            "selection_seconds": self.selection_seconds,
+        }
+
+
+@dataclass
+class ExperimentResult:
+    """One strategy's accuracy curve across active-learning rounds."""
+
+    strategy_name: str
+    dataset_name: str
+    records: List[RoundRecord] = field(default_factory=list)
+
+    def num_labeled(self) -> np.ndarray:
+        return np.asarray([r.num_labeled for r in self.records], dtype=np.int64)
+
+    def pool_accuracy(self) -> np.ndarray:
+        return np.asarray([r.pool_accuracy for r in self.records], dtype=np.float64)
+
+    def eval_accuracy(self) -> np.ndarray:
+        return np.asarray([r.eval_accuracy for r in self.records], dtype=np.float64)
+
+    def balanced_eval_accuracy(self) -> np.ndarray:
+        return np.asarray([r.balanced_eval_accuracy for r in self.records], dtype=np.float64)
+
+    def final_eval_accuracy(self) -> float:
+        require(len(self.records) > 0, "experiment has no records")
+        return self.records[-1].eval_accuracy
+
+    def final_pool_accuracy(self) -> float:
+        require(len(self.records) > 0, "experiment has no records")
+        return self.records[-1].pool_accuracy
+
+    def to_table(self) -> str:
+        """Format the curve as an aligned text table (one row per round)."""
+
+        lines = [f"# {self.strategy_name} on {self.dataset_name}"]
+        lines.append(f"{'labels':>8} {'pool_acc':>10} {'eval_acc':>10} {'bal_acc':>10}")
+        for r in self.records:
+            lines.append(
+                f"{r.num_labeled:>8d} {r.pool_accuracy:>10.4f} "
+                f"{r.eval_accuracy:>10.4f} {r.balanced_eval_accuracy:>10.4f}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class AggregateResult:
+    """Mean ± std of several trials of the same strategy on the same dataset."""
+
+    strategy_name: str
+    dataset_name: str
+    trials: List[ExperimentResult] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        require(len(self.trials) > 0, "at least one trial is required")
+        lengths = {len(t.records) for t in self.trials}
+        require(len(lengths) == 1, "all trials must have the same number of rounds")
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.trials)
+
+    def num_labeled(self) -> np.ndarray:
+        return self.trials[0].num_labeled()
+
+    def _stack(self, getter) -> np.ndarray:
+        return np.stack([getter(t) for t in self.trials], axis=0)
+
+    def mean_eval_accuracy(self) -> np.ndarray:
+        return self._stack(ExperimentResult.eval_accuracy).mean(axis=0)
+
+    def std_eval_accuracy(self) -> np.ndarray:
+        stacked = self._stack(ExperimentResult.eval_accuracy)
+        return stacked.std(axis=0, ddof=1) if self.num_trials > 1 else np.zeros(stacked.shape[1])
+
+    def mean_pool_accuracy(self) -> np.ndarray:
+        return self._stack(ExperimentResult.pool_accuracy).mean(axis=0)
+
+    def std_pool_accuracy(self) -> np.ndarray:
+        stacked = self._stack(ExperimentResult.pool_accuracy)
+        return stacked.std(axis=0, ddof=1) if self.num_trials > 1 else np.zeros(stacked.shape[1])
+
+    def mean_balanced_eval_accuracy(self) -> np.ndarray:
+        return self._stack(ExperimentResult.balanced_eval_accuracy).mean(axis=0)
+
+    def to_table(self) -> str:
+        """Aligned text table of mean ± std accuracy per label count."""
+
+        labels = self.num_labeled()
+        pool_mean, pool_std = self.mean_pool_accuracy(), self.std_pool_accuracy()
+        eval_mean, eval_std = self.mean_eval_accuracy(), self.std_eval_accuracy()
+        lines = [
+            f"# {self.strategy_name} on {self.dataset_name} ({self.num_trials} trials)",
+            f"{'labels':>8} {'pool_acc':>18} {'eval_acc':>18}",
+        ]
+        for i, num in enumerate(labels):
+            lines.append(
+                f"{int(num):>8d} {pool_mean[i]:>9.4f}±{pool_std[i]:<8.4f} "
+                f"{eval_mean[i]:>9.4f}±{eval_std[i]:<8.4f}"
+            )
+        return "\n".join(lines)
+
+
+def compare_final_accuracy(results: Sequence[AggregateResult]) -> str:
+    """Small comparison table of final evaluation accuracy across strategies."""
+
+    lines = [f"{'strategy':>16} {'final_eval_acc':>16}"]
+    for result in results:
+        final = float(result.mean_eval_accuracy()[-1])
+        lines.append(f"{result.strategy_name:>16} {final:>16.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Array backend abstraction.
+
+The paper's implementation targets CuPy on NVIDIA A100 GPUs with a NumPy
+fallback for CPUs.  CuPy is intentionally written to be a drop-in replacement
+for NumPy, so the original code selects an array module (``cupy`` or
+``numpy``) once and routes every kernel through it.  This module reproduces
+that pattern for a CPU-only environment: all of :mod:`repro` obtains its
+array module through :func:`get_array_module` so that a GPU backend could be
+plugged in without touching algorithm code.
+
+The paper uses single-precision (float32) storage and arithmetic throughout
+(§ III-C).  :data:`DEFAULT_DTYPE` encodes that policy; computations that are
+numerically delicate (eigenvalue solves, small dense inverses) promote to
+float64 internally and cast back, mirroring what ``cupy.linalg`` does under
+the hood for some routines.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_DTYPE",
+    "get_array_module",
+    "asarray",
+    "default_dtype",
+    "set_default_dtype",
+    "dtype_policy",
+]
+
+#: Default floating-point dtype, matching the paper's single-precision policy.
+DEFAULT_DTYPE = np.float32
+
+_current_dtype = DEFAULT_DTYPE
+
+
+def get_array_module(*_arrays) -> "np":
+    """Return the array module used by the library.
+
+    Mirrors ``cupy.get_array_module``: given any number of arrays, return the
+    module that should be used to operate on them.  In this CPU-only
+    reproduction the answer is always :mod:`numpy`, but every call site goes
+    through this function so the backend remains swappable.
+    """
+
+    return np
+
+
+def default_dtype() -> np.dtype:
+    """Return the current default floating-point dtype."""
+
+    return np.dtype(_current_dtype)
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the library-wide default floating point dtype.
+
+    Parameters
+    ----------
+    dtype:
+        Either ``numpy.float32`` or ``numpy.float64`` (or their string
+        names).  Other dtypes are rejected because the algorithms assume real
+        floating-point arithmetic.
+    """
+
+    global _current_dtype
+    dt = np.dtype(dtype)
+    if dt not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(f"unsupported default dtype {dt}; use float32 or float64")
+    _current_dtype = dt.type
+
+
+@contextmanager
+def dtype_policy(dtype) -> Iterator[None]:
+    """Context manager that temporarily changes the default dtype.
+
+    Useful in tests that want float64 reference computations while the
+    library default stays float32 as in the paper.
+    """
+
+    previous = _current_dtype
+    set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_default_dtype(previous)
+
+
+def asarray(a, dtype=None) -> np.ndarray:
+    """Convert ``a`` to a backend array with the library's default dtype.
+
+    Parameters
+    ----------
+    a:
+        Anything accepted by ``numpy.asarray``.
+    dtype:
+        Optional override; defaults to :func:`default_dtype`.
+    """
+
+    return np.asarray(a, dtype=dtype if dtype is not None else default_dtype())

@@ -1,0 +1,128 @@
+"""Common interface for batch selection strategies.
+
+The active-learning experiment driver (Fig. 2/3 reproduction) treats every
+method — Random, K-Means, Entropy, Exact-FIRAL, Approx-FIRAL — as a
+:class:`SelectionStrategy`: given the current pool, the current classifier's
+probabilities and the labeling budget, return the indices to label next.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.fisher.operators import FisherDataset
+from repro.utils.random import as_generator
+from repro.utils.validation import check_features, check_probabilities, require
+
+__all__ = ["SelectionContext", "SelectionStrategy", "FIRALStrategy"]
+
+
+@dataclass
+class SelectionContext:
+    """Everything a selection strategy may consult in one round.
+
+    Attributes
+    ----------
+    pool_features:
+        Unlabeled candidate features ``X_u``, shape ``(n, d)``.
+    pool_probabilities:
+        Current classifier probabilities on the pool, shape ``(n, c)``.
+    labeled_features:
+        Already-labeled features ``X_o``, shape ``(m, d)``.
+    labeled_probabilities:
+        Current classifier probabilities on the labeled points, ``(m, c)``.
+    budget:
+        Number of points ``b`` to pick this round.
+    rng:
+        Generator for stochastic strategies (Random, K-Means init).
+    """
+
+    pool_features: np.ndarray
+    pool_probabilities: np.ndarray
+    labeled_features: np.ndarray
+    labeled_probabilities: np.ndarray
+    budget: int
+    rng: np.random.Generator
+
+    def __post_init__(self) -> None:
+        self.pool_features = check_features(self.pool_features, "pool_features")
+        self.pool_probabilities = check_probabilities(self.pool_probabilities, name="pool_probabilities")
+        self.labeled_features = check_features(self.labeled_features, "labeled_features")
+        self.labeled_probabilities = check_probabilities(
+            self.labeled_probabilities, name="labeled_probabilities"
+        )
+        require(self.budget > 0, "budget must be positive")
+        require(
+            self.budget <= self.pool_features.shape[0],
+            "budget exceeds the number of pool points",
+        )
+        self.rng = as_generator(self.rng)
+
+    def fisher_dataset(self) -> FisherDataset:
+        """Bundle the context into the Fisher container FIRAL consumes.
+
+        The full ``(n, c)`` probability matrices are converted to the paper's
+        reduced ``(n, c-1)`` parameterization (Eq. 1), which removes the
+        softmax null space and keeps ``Sigma_z`` well conditioned.
+        """
+
+        from repro.models.softmax import reduced_probabilities
+
+        return FisherDataset(
+            pool_features=self.pool_features,
+            pool_probabilities=reduced_probabilities(self.pool_probabilities),
+            labeled_features=self.labeled_features,
+            labeled_probabilities=reduced_probabilities(self.labeled_probabilities),
+        )
+
+
+class SelectionStrategy(abc.ABC):
+    """Base class for batch selection methods."""
+
+    #: human-readable method name used in result tables / plots
+    name: str = "strategy"
+
+    #: whether repeated trials with different seeds give different selections
+    is_stochastic: bool = False
+
+    @abc.abstractmethod
+    def select(self, context: SelectionContext) -> np.ndarray:
+        """Return ``budget`` distinct pool indices to label next."""
+
+    def _validate_selection(self, indices: np.ndarray, context: SelectionContext) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64).ravel()
+        require(indices.size == context.budget, "strategy returned the wrong number of indices")
+        require(np.unique(indices).size == indices.size, "strategy returned duplicate indices")
+        require(
+            bool(np.all((indices >= 0) & (indices < context.pool_features.shape[0]))),
+            "strategy returned out-of-range indices",
+        )
+        return indices
+
+
+class FIRALStrategy(SelectionStrategy):
+    """Adapter exposing ``ExactFIRAL`` / ``ApproxFIRAL`` as a strategy.
+
+    Parameters
+    ----------
+    selector:
+        An object with a ``select(dataset, budget) -> SelectionResult``
+        method and a ``name`` attribute (both FIRAL classes qualify).
+    """
+
+    is_stochastic = False
+
+    def __init__(self, selector):
+        require(hasattr(selector, "select"), "selector must expose a select() method")
+        self.selector = selector
+        self.name = getattr(selector, "name", "firal")
+        self.last_result = None
+
+    def select(self, context: SelectionContext) -> np.ndarray:
+        result = self.selector.select(context.fisher_dataset(), context.budget)
+        self.last_result = result
+        return self._validate_selection(result.selected_indices, context)

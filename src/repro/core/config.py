@@ -1,0 +1,136 @@
+"""Configuration dataclasses for the RELAX and ROUND solvers.
+
+Defaults follow the experimental setup of § IV-A of the paper:
+
+* 10 Rademacher probe vectors,
+* CG terminated at relative residual 0.1,
+* mirror descent stopped when the relative objective change drops below
+  1e-4 (always within 100 iterations in the paper's tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.utils.validation import require
+
+__all__ = ["RelaxConfig", "RoundConfig"]
+
+
+@dataclass
+class RelaxConfig:
+    """Options for the RELAX (continuous relaxation) solver.
+
+    Parameters
+    ----------
+    max_iterations:
+        Mirror-descent iteration cap ``T``.
+    learning_rate:
+        Base step size ``beta_0`` of the entropic mirror descent update
+        ``z_i <- z_i * exp(-beta_t g_i)``.
+    learning_rate_schedule:
+        ``"sqrt"`` uses ``beta_t = beta_0 / sqrt(t)`` (the classical mirror
+        descent schedule), ``"constant"`` keeps ``beta_0``.
+    normalize_gradient:
+        When true (default), gradients are scaled by their infinity norm
+        before the exponential update; this makes the step size insensitive
+        to the absolute Fisher scale, mirroring the robustness the paper
+        reports across datasets.
+    objective_tolerance:
+        Relative-change stopping criterion on the objective (1e-4 in § IV-A).
+    num_probes:
+        Number of Rademacher probe vectors ``s`` (Approx only; 10 in § IV-A).
+    cg_tolerance:
+        CG relative-residual termination (Approx only; 0.1 in § IV-A).
+    cg_max_iterations:
+        CG iteration cap.
+    track_objective:
+        ``"exact"`` evaluates the dense objective each iteration (small
+        problems / Fig. 4), ``"estimate"`` uses Hutchinson + CG, ``"none"``
+        skips objective tracking (fastest; relies on max_iterations).
+    regularization:
+        Optional Tikhonov term added to ``Sigma_z`` for numerical safety when
+        the labeled set is tiny (the first rounds have one point per class).
+    seed:
+        RNG seed for the Rademacher probes.
+    """
+
+    max_iterations: int = 100
+    learning_rate: float = 1.0
+    learning_rate_schedule: str = "sqrt"
+    normalize_gradient: bool = True
+    objective_tolerance: float = 1e-4
+    num_probes: int = 10
+    cg_tolerance: float = 0.1
+    cg_max_iterations: int = 1000
+    track_objective: str = "estimate"
+    regularization: float = 1e-6
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        require(self.max_iterations > 0, "max_iterations must be positive")
+        require(self.learning_rate > 0, "learning_rate must be positive")
+        require(
+            self.learning_rate_schedule in ("sqrt", "constant"),
+            "learning_rate_schedule must be 'sqrt' or 'constant'",
+        )
+        require(self.objective_tolerance >= 0, "objective_tolerance must be non-negative")
+        require(self.num_probes > 0, "num_probes must be positive")
+        require(self.cg_tolerance > 0, "cg_tolerance must be positive")
+        require(self.cg_max_iterations > 0, "cg_max_iterations must be positive")
+        require(
+            self.track_objective in ("exact", "estimate", "none"),
+            "track_objective must be 'exact', 'estimate' or 'none'",
+        )
+        require(self.regularization >= 0, "regularization must be non-negative")
+
+    def step_size(self, iteration: int, gradient_scale: float) -> float:
+        """Step size ``beta_t`` for 1-based ``iteration``.
+
+        ``gradient_scale`` is the infinity norm of the current gradient when
+        ``normalize_gradient`` is enabled (1.0 otherwise).
+        """
+
+        require(iteration >= 1, "iteration is 1-based")
+        beta = self.learning_rate
+        if self.learning_rate_schedule == "sqrt":
+            beta = beta / (iteration**0.5)
+        if self.normalize_gradient and gradient_scale > 0:
+            beta = beta / gradient_scale
+        return beta
+
+
+@dataclass
+class RoundConfig:
+    """Options for the ROUND (regret-minimization) solver.
+
+    Parameters
+    ----------
+    eta:
+        FTRL learning rate η.  ``None`` triggers the grid search of
+        :func:`repro.core.eta_selection.select_eta` (the paper's rule:
+        maximize ``min_k lambda_min(H_k)`` over the selected batch).
+    eta_grid:
+        Candidate values used when ``eta is None``.
+    allow_repeats:
+        Whether a point may be selected more than once.  The paper's regret
+        analysis permits repeats; practical active learning does not, so the
+        default removes selected points from later iterations.
+    regularization:
+        Tikhonov term added to ``Sigma_*`` (and hence to every ``B_t``)
+        before inversion; protects the first rounds where ``Sigma_*`` can be
+        numerically singular in float32.
+    """
+
+    eta: Optional[float] = None
+    eta_grid: Sequence[float] = field(default_factory=lambda: (0.1, 0.5, 1.0, 2.0, 8.0))
+    allow_repeats: bool = False
+    regularization: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.eta is not None:
+            require(self.eta > 0, "eta must be positive")
+        require(len(tuple(self.eta_grid)) > 0, "eta_grid must not be empty")
+        require(all(e > 0 for e in self.eta_grid), "eta_grid values must be positive")
+        require(self.regularization >= 0, "regularization must be non-negative")

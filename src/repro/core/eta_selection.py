@@ -1,0 +1,81 @@
+"""FTRL learning-rate (η) selection.
+
+§ IV-A of the paper: "we execute the ROUND step with different η values, and
+then select the one that maximizes ``min_k lambda_min(H_k)``, where ``H``
+represents the summation of Hessians of the selected b points".  The same
+rule is inherited from Exact-FIRAL, so both solvers share this module.
+
+Theorem 1 suggests the theoretical scale η = 8 sqrt(dc) / ε; the default grid
+therefore mixes O(1) values with multiples of sqrt(dc).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.approx_round import selected_batch_min_eigenvalue
+from repro.core.config import RoundConfig
+from repro.core.result import RoundResult
+from repro.fisher.operators import FisherDataset
+from repro.utils.validation import require
+
+__all__ = ["default_eta_grid", "select_eta"]
+
+RoundSolver = Callable[[FisherDataset, np.ndarray, int, float, Optional[RoundConfig]], RoundResult]
+
+
+def default_eta_grid(joint_dimension: int) -> Tuple[float, ...]:
+    """Grid of candidate η values mixing O(1) and sqrt(dc)-scaled entries."""
+
+    require(joint_dimension > 0, "joint_dimension must be positive")
+    scale = float(np.sqrt(joint_dimension))
+    return (0.1, 0.5, 1.0, 2.0, 0.5 * scale, scale, 8.0 * scale)
+
+
+def select_eta(
+    solver: RoundSolver,
+    dataset: FisherDataset,
+    z_relaxed: np.ndarray,
+    budget: int,
+    *,
+    eta_grid: Optional[Sequence[float]] = None,
+    config: Optional[RoundConfig] = None,
+) -> Tuple[RoundResult, float]:
+    """Run the ROUND solver for each candidate η and keep the best batch.
+
+    Parameters
+    ----------
+    solver:
+        Either :func:`repro.core.approx_round.approx_round` or
+        :func:`repro.core.exact_round.exact_round` (they share a signature).
+    dataset, z_relaxed, budget:
+        Round-solve inputs.
+    eta_grid:
+        Candidate η values; defaults to :func:`default_eta_grid`.
+    config:
+        Round options forwarded to every trial solve.
+
+    Returns
+    -------
+    (RoundResult, float)
+        The winning round result (with ``eta_score`` filled in) and its score
+        ``min_k lambda_min(H_k)``.
+    """
+
+    grid = tuple(eta_grid) if eta_grid is not None else default_eta_grid(dataset.joint_dimension)
+    require(len(grid) > 0, "eta grid must not be empty")
+    require(all(e > 0 for e in grid), "eta values must be positive")
+
+    best_result: Optional[RoundResult] = None
+    best_score = -np.inf
+    for eta in grid:
+        result = solver(dataset, z_relaxed, budget, float(eta), config)
+        score = selected_batch_min_eigenvalue(dataset, result.selected_indices)
+        if score > best_score:
+            best_score = score
+            best_result = result
+    assert best_result is not None
+    best_result.eta_score = float(best_score)
+    return best_result, float(best_score)

@@ -1,0 +1,124 @@
+"""Exact ROUND step (Lines 10–19 of Algorithm 1).
+
+Given the relaxed weights ``z*``, the round solver selects ``b`` concrete
+points by Follow-The-Regularized-Leader regret minimization.  All matrices
+are dense ``dc x dc``: each candidate evaluation needs the trace of a dense
+inverse (Eq. 9), and each selection updates the FTRL matrix via a full
+eigendecomposition (Lines 16–18).  This is the ``O(b c^3 (d^3 + n))`` cost of
+Table II, and the baseline against which Algorithm 3's block-diagonal round
+is validated (Proposition 4) and timed (Table VI).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import RoundConfig
+from repro.core.result import RoundResult
+from repro.fisher.hessian import point_hessian_dense
+from repro.fisher.operators import FisherDataset
+from repro.linalg.bisection import find_ftrl_nu
+from repro.utils.timing import TimingBreakdown
+from repro.utils.validation import require
+
+__all__ = ["exact_round"]
+
+
+def _symmetric_inv_sqrt(matrix: np.ndarray) -> np.ndarray:
+    """Inverse symmetric square root ``M^{-1/2}`` via eigendecomposition."""
+
+    w, V = np.linalg.eigh(0.5 * (matrix + matrix.T))
+    require(bool(np.all(w > 0)), "matrix must be positive definite for inverse sqrt")
+    return (V * (1.0 / np.sqrt(w))) @ V.T
+
+
+def exact_round(
+    dataset: FisherDataset,
+    z_relaxed: np.ndarray,
+    budget: int,
+    eta: float,
+    config: Optional[RoundConfig] = None,
+) -> RoundResult:
+    """Select ``budget`` points with the dense FTRL round solver.
+
+    Parameters
+    ----------
+    dataset:
+        Fisher data for the current round.
+    z_relaxed:
+        Relaxed weights ``z*`` from the RELAX step (``sum z = b``).
+    budget:
+        Number of points ``b`` to select.
+    eta:
+        FTRL learning rate η (Eq. 9/10); the η grid search lives in
+        :mod:`repro.core.eta_selection`.
+    config:
+        Round options (``allow_repeats``, regularization).
+    """
+
+    require(budget > 0, "budget must be positive")
+    require(eta > 0, "eta must be positive")
+    cfg = config or RoundConfig(eta=eta)
+    n = dataset.num_pool
+    require(n >= budget or cfg.allow_repeats, "pool smaller than budget with allow_repeats=False")
+
+    z_relaxed = np.asarray(z_relaxed, dtype=np.float64).ravel()
+    require(z_relaxed.shape == (n,), "z_relaxed must have one weight per pool point")
+
+    timings = TimingBreakdown()
+    d = dataset.dimension
+    c = dataset.num_classes
+    dc = d * c
+
+    with timings.region("other"):
+        sigma_star = dataset.sigma_dense(z_relaxed)
+        if cfg.regularization > 0.0:
+            sigma_star = sigma_star + cfg.regularization * np.eye(dc)
+        sigma_inv_sqrt = _symmetric_inv_sqrt(sigma_star)
+        h_labeled = dataset.labeled_hessian_dense()
+        h_labeled_tilde = sigma_inv_sqrt @ h_labeled @ sigma_inv_sqrt
+        # Transformed candidate Hessians ~H_i = Sigma^{-1/2} H_i Sigma^{-1/2}.
+        candidate_tilde = np.empty((n, dc, dc), dtype=np.float64)
+        for i in range(n):
+            h_i = point_hessian_dense(dataset.pool_features[i], dataset.pool_probabilities[i])
+            candidate_tilde[i] = sigma_inv_sqrt @ h_i @ sigma_inv_sqrt
+
+    A_t = np.sqrt(dc) * np.eye(dc)
+    accumulated = np.zeros((dc, dc), dtype=np.float64)
+
+    selected = []
+    objective_trace = []
+    available = np.ones(n, dtype=bool)
+
+    for t in range(1, budget + 1):
+        with timings.region("objective_function"):
+            base = A_t + (eta / budget) * h_labeled_tilde
+            best_index = -1
+            best_value = np.inf
+            for i in range(n):
+                if not cfg.allow_repeats and not available[i]:
+                    continue
+                trial = base + eta * candidate_tilde[i]
+                value = float(np.trace(np.linalg.inv(trial)))
+                if value < best_value:
+                    best_value = value
+                    best_index = i
+            require(best_index >= 0, "no candidate available for selection")
+            selected.append(best_index)
+            objective_trace.append(best_value)
+            available[best_index] = False
+
+        with timings.region("compute_eigenvalues"):
+            accumulated += (1.0 / budget) * h_labeled_tilde + candidate_tilde[best_index]
+            eigenvalues, eigenvectors = np.linalg.eigh(eta * accumulated)
+            nu = find_ftrl_nu(eigenvalues)
+            A_t = (eigenvectors * (nu + eigenvalues)) @ eigenvectors.T
+
+    return RoundResult(
+        selected_indices=np.asarray(selected, dtype=np.int64),
+        eta=float(eta),
+        objective_trace=objective_trace,
+        timings=timings,
+    )

@@ -1,0 +1,38 @@
+"""Dataset substrate for the accuracy and scaling experiments.
+
+The paper evaluates on fixed feature embeddings of MNIST, CIFAR-10,
+Caltech-101 and ImageNet (spectral, SimCLR and DINOv2 features; Table V).
+Those embeddings are not available offline, so this package generates
+synthetic Gaussian-mixture embeddings with matching *structural* parameters —
+number of classes, feature dimension, pool size, class balance/imbalance
+ratio — which is what the FIRAL algorithms actually interact with.  The
+extended-CIFAR-10 trick of the strong-scaling study (expanding 50K points to
+3M by adding noise) is reproduced by :func:`expand_with_noise`.
+"""
+
+from repro.datasets.synthetic import (
+    GaussianEmbeddingModel,
+    make_gaussian_embeddings,
+    expand_with_noise,
+)
+from repro.datasets.imbalance import imbalanced_class_counts, balanced_class_counts
+from repro.datasets.registry import (
+    DatasetSpec,
+    PAPER_DATASETS,
+    get_dataset_spec,
+    list_dataset_names,
+    build_problem,
+)
+
+__all__ = [
+    "GaussianEmbeddingModel",
+    "make_gaussian_embeddings",
+    "expand_with_noise",
+    "imbalanced_class_counts",
+    "balanced_class_counts",
+    "DatasetSpec",
+    "PAPER_DATASETS",
+    "get_dataset_spec",
+    "list_dataset_names",
+    "build_problem",
+]

@@ -1,0 +1,81 @@
+"""Class-count generators for balanced and imbalanced pools.
+
+Table V constructs the unlabeled pool in two regimes:
+
+* *balanced*: the same number of points per class (MNIST, CIFAR-10,
+  ImageNet-50, ImageNet-1k);
+* *imbalanced*: class sizes spread so the ratio between the largest and the
+  smallest class hits a target (10x for imb-CIFAR-10 and Caltech-101, 8x for
+  imb-ImageNet-50), simulating the non-i.i.d. scenario the paper motivates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import require
+
+__all__ = ["balanced_class_counts", "imbalanced_class_counts"]
+
+
+def balanced_class_counts(num_classes: int, total: int) -> np.ndarray:
+    """Split ``total`` points as evenly as possible over ``num_classes``.
+
+    Any remainder is distributed one point at a time to the first classes so
+    the counts always sum exactly to ``total``.
+    """
+
+    require(num_classes > 0, "num_classes must be positive")
+    require(total >= num_classes, "need at least one point per class")
+    base = total // num_classes
+    counts = np.full(num_classes, base, dtype=np.int64)
+    counts[: total - base * num_classes] += 1
+    return counts
+
+
+def imbalanced_class_counts(
+    num_classes: int,
+    total: int,
+    max_ratio: float,
+) -> np.ndarray:
+    """Class counts with (approximately) geometric decay and a target ratio.
+
+    The largest and smallest class sizes differ by ``max_ratio`` (before
+    integer rounding), matching the paper's imbalanced pool construction.
+
+    Parameters
+    ----------
+    num_classes:
+        Number of classes ``c``.
+    total:
+        Total pool size; the returned counts sum exactly to ``total``.
+    max_ratio:
+        Ratio between the most and least frequent class (>= 1).
+    """
+
+    require(num_classes > 0, "num_classes must be positive")
+    require(total >= num_classes, "need at least one point per class")
+    require(max_ratio >= 1.0, "max_ratio must be at least 1")
+
+    if num_classes == 1 or max_ratio == 1.0:
+        return balanced_class_counts(num_classes, total)
+
+    # Geometric interpolation between 1 and 1/max_ratio, then scaled to total.
+    weights = np.geomspace(1.0, 1.0 / max_ratio, num_classes)
+    raw = weights / weights.sum() * total
+    counts = np.maximum(np.floor(raw).astype(np.int64), 1)
+
+    # Fix the sum exactly: add/remove points starting from the largest class.
+    deficit = int(total - counts.sum())
+    order = np.argsort(-counts, kind="stable")
+    i = 0
+    while deficit != 0:
+        idx = order[i % num_classes]
+        if deficit > 0:
+            counts[idx] += 1
+            deficit -= 1
+        elif counts[idx] > 1:
+            counts[idx] -= 1
+            deficit += 1
+        i += 1
+    return counts

@@ -1,0 +1,156 @@
+"""Dataset registry mirroring Table V of the paper.
+
+Every accuracy experiment in the paper is defined by a row of Table V: the
+number of classes, feature dimension, initial labeled points per class, pool
+size, number of rounds, per-round budget and evaluation-set size, plus the
+balance/imbalance regime.  :data:`PAPER_DATASETS` records those rows;
+:func:`build_problem` instantiates a synthetic-embedding
+:class:`~repro.active.problem.ActiveLearningProblem` for any of them, with an
+optional ``scale`` factor that shrinks the pool and evaluation sets so the
+same experiment can run as a quick test, a benchmark, or a full-size run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.active.problem import ActiveLearningProblem
+from repro.datasets.imbalance import balanced_class_counts, imbalanced_class_counts
+from repro.datasets.synthetic import make_gaussian_embeddings
+from repro.utils.random import as_generator, spawn_generators
+from repro.utils.validation import require
+
+__all__ = ["DatasetSpec", "PAPER_DATASETS", "get_dataset_spec", "list_dataset_names", "build_problem"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of Table V.
+
+    ``imbalance_ratio`` is 1.0 for balanced pools; 10.0 for imb-CIFAR-10 and
+    Caltech-101; 8.0 for imb-ImageNet-50.
+    """
+
+    name: str
+    num_classes: int
+    dimension: int
+    initial_per_class: int
+    pool_size: int
+    rounds: int
+    budget_per_round: int
+    eval_size: int
+    imbalance_ratio: float = 1.0
+    separation: float = 4.0
+    noise_scale: float = 1.0
+
+    def scaled(self, scale: float) -> "DatasetSpec":
+        """Return a spec with pool/eval sizes multiplied by ``scale``.
+
+        The structural parameters (classes, dimension, rounds, budget) are
+        preserved; only the population sizes shrink, keeping at least one
+        pool point per class per selection so the experiment stays well
+        posed.
+        """
+
+        require(scale > 0, "scale must be positive")
+        min_pool = max(self.num_classes, self.rounds * self.budget_per_round) * 2
+        min_eval = self.num_classes * 2
+        return replace(
+            self,
+            pool_size=max(int(round(self.pool_size * scale)), min_pool),
+            eval_size=max(int(round(self.eval_size * scale)), min_eval),
+        )
+
+    @property
+    def total_budget(self) -> int:
+        return self.rounds * self.budget_per_round
+
+
+#: The seven active-learning datasets of Table V.
+PAPER_DATASETS: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec("mnist", 10, 20, 1, 3_000, 3, 10, 60_000),
+        DatasetSpec("cifar10", 10, 20, 1, 3_000, 3, 10, 50_000),
+        DatasetSpec("imb-cifar10", 10, 20, 1, 3_000, 3, 10, 50_000, imbalance_ratio=10.0),
+        DatasetSpec("imagenet-50", 50, 50, 1, 5_000, 6, 50, 64_273),
+        DatasetSpec("imb-imagenet-50", 50, 50, 1, 5_000, 6, 50, 64_273, imbalance_ratio=8.0),
+        DatasetSpec("caltech-101", 101, 100, 1, 1_715, 6, 101, 8_677, imbalance_ratio=10.0),
+        DatasetSpec("imagenet-1k", 1_000, 383, 2, 50_000, 5, 200, 1_281_167),
+    )
+}
+
+
+def list_dataset_names() -> Tuple[str, ...]:
+    """Names of the registered Table V datasets."""
+
+    return tuple(PAPER_DATASETS)
+
+
+def get_dataset_spec(name: str) -> DatasetSpec:
+    """Look up a Table V dataset spec by name (case-insensitive)."""
+
+    key = name.lower()
+    if key not in PAPER_DATASETS:
+        raise KeyError(f"unknown dataset '{name}'; available: {sorted(PAPER_DATASETS)}")
+    return PAPER_DATASETS[key]
+
+
+def build_problem(
+    spec_or_name,
+    *,
+    scale: float = 1.0,
+    seed: Optional[int] = 0,
+) -> ActiveLearningProblem:
+    """Instantiate a synthetic active-learning problem for a dataset spec.
+
+    Parameters
+    ----------
+    spec_or_name:
+        A :class:`DatasetSpec` or the name of a registered one.
+    scale:
+        Population scale factor (1.0 reproduces the Table V sizes; tests and
+        CI-friendly benchmarks use much smaller values).
+    seed:
+        Seed controlling the embedding geometry and all sampling.
+    """
+
+    spec = get_dataset_spec(spec_or_name) if isinstance(spec_or_name, str) else spec_or_name
+    require(isinstance(spec, DatasetSpec), "spec_or_name must be a DatasetSpec or name")
+    if scale != 1.0:
+        spec = spec.scaled(scale)
+
+    rng = as_generator(seed)
+    model_rng, initial_rng, pool_rng, eval_rng = spawn_generators(rng, 4)
+    model = make_gaussian_embeddings(
+        spec.num_classes,
+        spec.dimension,
+        separation=spec.separation,
+        noise_scale=spec.noise_scale,
+        seed=model_rng,
+    )
+
+    initial_counts = np.full(spec.num_classes, spec.initial_per_class, dtype=np.int64)
+    if spec.imbalance_ratio > 1.0:
+        pool_counts = imbalanced_class_counts(spec.num_classes, spec.pool_size, spec.imbalance_ratio)
+    else:
+        pool_counts = balanced_class_counts(spec.num_classes, spec.pool_size)
+    eval_counts = balanced_class_counts(spec.num_classes, spec.eval_size)
+
+    initial_features, initial_labels = model.sample(initial_counts, rng=initial_rng)
+    pool_features, pool_labels = model.sample(pool_counts, rng=pool_rng)
+    eval_features, eval_labels = model.sample(eval_counts, rng=eval_rng)
+
+    return ActiveLearningProblem(
+        initial_features=initial_features,
+        initial_labels=initial_labels,
+        pool_features=pool_features,
+        pool_labels=pool_labels,
+        eval_features=eval_features,
+        eval_labels=eval_labels,
+        num_classes=spec.num_classes,
+        name=spec.name,
+    )

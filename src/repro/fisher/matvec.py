@@ -1,0 +1,157 @@
+"""Matrix-free Hessian matvecs (Lemma 2 of the paper).
+
+For a vectorized weight ``v in R^{dc}`` with reshaped matrix ``V in R^{d x c}``
+(columns ``v_k``), the per-point Hessian-vector product is
+
+    H_i v = stack_k [ (x_i^T v_k - x_i^T V h_i) h_i^k x_i ]          (Lemma 2)
+
+computed in ``O(dc)`` time and ``O(c)`` extra storage per point instead of the
+``O(d^2 c^2)`` of a dense matvec (Table III).  Weighted sums over points —
+``H_p v``, ``H_z v`` and hence ``Sigma_z v = H_o v + H_z v`` — then reduce to
+two einsum contractions over the whole point set (Eq. 13), which is what the
+paper's CuPy implementation evaluates on the GPU.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_features, check_probabilities, require
+
+__all__ = [
+    "hessian_sum_matvec",
+    "single_point_hessian_matvec",
+    "probe_hessian_quadratic_forms",
+]
+
+
+def _reshape_probe(V: np.ndarray, d: int, c: int):
+    """Reshape ``(dc,)`` or ``(dc, s)`` probes into ``(c, d, s)`` slices."""
+
+    V = np.asarray(V)
+    single = V.ndim == 1
+    if single:
+        V = V[:, None]
+    require(V.ndim == 2, "probe array must be 1-D or 2-D")
+    require(V.shape[0] == d * c, f"probe length {V.shape[0]} != d*c = {d * c}")
+    return V.reshape(c, d, V.shape[1]), single
+
+
+def single_point_hessian_matvec(x: np.ndarray, h: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Evaluate ``H_i v`` for a single point via Lemma 2.
+
+    Steps ❶–❹ of the paper: ``gamma = V^T x``, ``alpha = gamma^T h``,
+    ``gamma = (gamma - alpha) ⊙ h``, ``H_i v = vec(gamma ⊗ x)``.
+    """
+
+    x = np.asarray(x, dtype=np.float64).ravel()
+    h = np.asarray(h, dtype=np.float64).ravel()
+    d, c = x.size, h.size
+    Vr, single = _reshape_probe(v, d, c)
+    Vr = Vr.astype(np.float64)
+
+    # gamma[k, s] = x^T v_k^{(s)}
+    gamma = np.einsum("d,kds->ks", x, Vr)
+    # alpha[s] = sum_k gamma[k, s] h[k] = x^T V h
+    alpha = np.einsum("ks,k->s", gamma, h)
+    gamma = (gamma - alpha[None, :]) * h[:, None]
+    out = np.einsum("ks,d->kds", gamma, x).reshape(d * c, -1)
+    return out[:, 0] if single else out
+
+
+def hessian_sum_matvec(
+    X: np.ndarray,
+    H: np.ndarray,
+    V: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Evaluate ``(sum_i w_i H_i) V`` matrix-free for one or more probes.
+
+    Parameters
+    ----------
+    X:
+        Point features, shape ``(n, d)``.
+    H:
+        Class probabilities, shape ``(n, c)``.
+    V:
+        Probe vector(s), shape ``(dc,)`` or ``(dc, s)``.
+    weights:
+        Optional per-point weights ``w`` (e.g. the relaxed ``z``); ``None``
+        means all ones (giving ``H_p V`` or ``H_o V``).
+
+    Returns
+    -------
+    ndarray with the same shape as ``V``.
+
+    Complexity ``O(n c d s)`` — the CG-dominating cost in Table II/IV.
+    """
+
+    X = check_features(X)
+    H = check_probabilities(H)
+    require(X.shape[0] == H.shape[0], "X and H must describe the same points")
+    n, d = X.shape
+    c = H.shape[1]
+    Vr, single = _reshape_probe(V, d, c)
+
+    X64 = X.astype(np.float64)
+    H64 = H.astype(np.float64)
+    Vr = Vr.astype(np.float64)
+
+    # t[i, k, s] = x_i^T v_k^{(s)}
+    t = np.einsum("id,kds->iks", X64, Vr, optimize=True)
+    # a[i, s] = x_i^T V^{(s)} h_i
+    a = np.einsum("iks,ik->is", t, H64, optimize=True)
+    gamma = (t - a[:, None, :]) * H64[:, :, None]
+    if weights is not None:
+        w = np.asarray(weights, dtype=np.float64).ravel()
+        require(w.shape == (n,), "weights must have shape (n,)")
+        gamma = gamma * w[:, None, None]
+    out = np.einsum("iks,id->kds", gamma, X64, optimize=True).reshape(d * c, -1)
+    out = out.astype(np.asarray(V).dtype, copy=False)
+    return out[:, 0] if single else out
+
+
+def probe_hessian_quadratic_forms(
+    X: np.ndarray,
+    H: np.ndarray,
+    V: np.ndarray,
+    W: np.ndarray,
+) -> np.ndarray:
+    """Per-point quadratic forms ``v_j^T H_i w_j`` averaged over probes.
+
+    Line 9 of Algorithm 2 estimates every gradient entry as
+
+        g_i ≈ -(1/s) sum_j v_j^T H_i w_j,   w_j = Sigma_z^{-1} H_p Sigma_z^{-1} v_j.
+
+    Using Lemma 2, ``v^T H_i w = sum_k h_i^k (x_i^T v_k)(x_i^T w_k)
+    - (x_i^T V h_i)(x_i^T W h_i)`` which this routine evaluates for all points
+    and probes with three einsum contractions (no per-point loop).
+
+    Returns
+    -------
+    ndarray of shape ``(n,)`` holding ``(1/s) sum_j v_j^T H_i w_j`` — i.e. the
+    *negated* gradient estimate.
+    """
+
+    X = check_features(X)
+    H = check_probabilities(H)
+    n, d = X.shape
+    c = H.shape[1]
+    Vr, _ = _reshape_probe(V, d, c)
+    Wr, _ = _reshape_probe(W, d, c)
+    require(Vr.shape == Wr.shape, "V and W must have the same shape")
+    s = Vr.shape[2]
+
+    X64 = X.astype(np.float64)
+    H64 = H.astype(np.float64)
+    tv = np.einsum("id,kds->iks", X64, Vr.astype(np.float64), optimize=True)
+    tw = np.einsum("id,kds->iks", X64, Wr.astype(np.float64), optimize=True)
+    # sum_k h_k (x^T v_k)(x^T w_k)
+    term1 = np.einsum("ik,iks,iks->is", H64, tv, tw, optimize=True)
+    # (x^T V h)(x^T W h)
+    av = np.einsum("iks,ik->is", tv, H64, optimize=True)
+    aw = np.einsum("iks,ik->is", tw, H64, optimize=True)
+    per_probe = term1 - av * aw
+    return per_probe.sum(axis=1) / float(s)

@@ -1,0 +1,216 @@
+"""Operator-level view of the Fisher information used by the solvers.
+
+:class:`FisherDataset` bundles the quantities every FIRAL variant consumes —
+pool features/probabilities and initially-labeled features/probabilities —
+and exposes both dense (Exact-FIRAL) and matrix-free (Approx-FIRAL) views of
+``H_o``, ``H_p`` and ``Sigma_z = H_o + H_z``.
+
+:class:`SigmaOperator` freezes a particular weight vector ``z`` and provides
+the matvec + block-diagonal preconditioner pair that the preconditioned CG
+solves of Algorithm 2 require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.fisher.hessian import block_diagonal_of_sum, sum_hessian_dense
+from repro.fisher.matvec import hessian_sum_matvec
+from repro.linalg.block_diag import BlockDiagonalMatrix
+from repro.utils.validation import check_features, check_probabilities, require
+
+__all__ = ["FisherDataset", "SigmaOperator"]
+
+
+@dataclass
+class FisherDataset:
+    """Pool + labeled-point Fisher data for one active-learning round.
+
+    Attributes
+    ----------
+    pool_features:
+        ``X_u`` of shape ``(n, d)`` — candidate points for selection.
+    pool_probabilities:
+        ``h_i`` for every pool point, shape ``(n, c)``, produced by the
+        current classifier.
+    labeled_features:
+        ``X_o`` of shape ``(m, d)`` — the already-labeled points.
+    labeled_probabilities:
+        ``h_i`` for the labeled points, shape ``(m, c)``.
+    """
+
+    pool_features: np.ndarray
+    pool_probabilities: np.ndarray
+    labeled_features: np.ndarray
+    labeled_probabilities: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.pool_features = check_features(self.pool_features, "pool_features")
+        self.pool_probabilities = check_probabilities(self.pool_probabilities, name="pool_probabilities")
+        self.labeled_features = check_features(self.labeled_features, "labeled_features")
+        self.labeled_probabilities = check_probabilities(
+            self.labeled_probabilities, name="labeled_probabilities"
+        )
+        require(
+            self.pool_features.shape[0] == self.pool_probabilities.shape[0],
+            "pool features and probabilities must describe the same points",
+        )
+        require(
+            self.labeled_features.shape[0] == self.labeled_probabilities.shape[0],
+            "labeled features and probabilities must describe the same points",
+        )
+        require(
+            self.pool_features.shape[1] == self.labeled_features.shape[1],
+            "pool and labeled points must share the feature dimension",
+        )
+        require(
+            self.pool_probabilities.shape[1] == self.labeled_probabilities.shape[1],
+            "pool and labeled probabilities must share the class dimension",
+        )
+
+    # ------------------------------------------------------------------ #
+    # sizes
+    # ------------------------------------------------------------------ #
+    @property
+    def num_pool(self) -> int:
+        return int(self.pool_features.shape[0])
+
+    @property
+    def num_labeled(self) -> int:
+        return int(self.labeled_features.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        return int(self.pool_features.shape[1])
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.pool_probabilities.shape[1])
+
+    @property
+    def joint_dimension(self) -> int:
+        """The ``dc`` dimension of the vectorized weight space."""
+
+        return self.dimension * self.num_classes
+
+    # ------------------------------------------------------------------ #
+    # matrix-free matvecs
+    # ------------------------------------------------------------------ #
+    def labeled_hessian_matvec(self, V: np.ndarray) -> np.ndarray:
+        """``H_o V`` via Lemma 2."""
+
+        return hessian_sum_matvec(self.labeled_features, self.labeled_probabilities, V)
+
+    def pool_hessian_matvec(self, V: np.ndarray, weights: Optional[np.ndarray] = None) -> np.ndarray:
+        """``H_p V`` (``weights=None``) or ``H_z V`` (``weights=z``) via Lemma 2."""
+
+        return hessian_sum_matvec(self.pool_features, self.pool_probabilities, V, weights=weights)
+
+    def sigma_matvec(self, V: np.ndarray, z: np.ndarray) -> np.ndarray:
+        """``Sigma_z V = H_o V + H_z V``."""
+
+        return self.labeled_hessian_matvec(V) + self.pool_hessian_matvec(V, weights=z)
+
+    # ------------------------------------------------------------------ #
+    # block diagonals
+    # ------------------------------------------------------------------ #
+    def labeled_block_diagonal(self) -> BlockDiagonalMatrix:
+        """``B(H_o)`` assembled directly (Eq. 14)."""
+
+        return block_diagonal_of_sum(self.labeled_features, self.labeled_probabilities)
+
+    def pool_block_diagonal(self, weights: Optional[np.ndarray] = None) -> BlockDiagonalMatrix:
+        """``B(H_p)`` or ``B(H_z)`` assembled directly."""
+
+        return block_diagonal_of_sum(self.pool_features, self.pool_probabilities, weights=weights)
+
+    def sigma_block_diagonal(self, z: np.ndarray) -> BlockDiagonalMatrix:
+        """``B(Sigma_z)`` — the CG preconditioner of Algorithm 2 (Line 5)."""
+
+        return self.labeled_block_diagonal() + self.pool_block_diagonal(weights=z)
+
+    # ------------------------------------------------------------------ #
+    # dense views (Exact-FIRAL / tests only)
+    # ------------------------------------------------------------------ #
+    def labeled_hessian_dense(self) -> np.ndarray:
+        """Dense ``H_o`` (``dc x dc``)."""
+
+        return sum_hessian_dense(self.labeled_features, self.labeled_probabilities)
+
+    def pool_hessian_dense(self, weights: Optional[np.ndarray] = None) -> np.ndarray:
+        """Dense ``H_p`` / ``H_z``."""
+
+        return sum_hessian_dense(self.pool_features, self.pool_probabilities, weights=weights)
+
+    def sigma_dense(self, z: np.ndarray) -> np.ndarray:
+        """Dense ``Sigma_z``."""
+
+        return self.labeled_hessian_dense() + self.pool_hessian_dense(weights=z)
+
+
+class SigmaOperator:
+    """Matrix-free ``Sigma_z`` with its block-diagonal preconditioner.
+
+    Packaging the two callables together keeps the CG call sites of
+    Algorithm 2 (Lines 6 and 8) tidy: ``Sigma_z`` changes every mirror-descent
+    iteration because ``z`` changes, so the operator is rebuilt per iteration
+    (the preconditioner assembly cost is the ``O(n c d^2 / p + c d^3)`` term
+    of Table IV).
+    """
+
+    def __init__(
+        self,
+        dataset: FisherDataset,
+        z: np.ndarray,
+        *,
+        regularization: float = 0.0,
+        build_preconditioner: bool = True,
+    ):
+        z = np.asarray(z, dtype=np.float64).ravel()
+        require(z.shape == (dataset.num_pool,), "z must have one weight per pool point")
+        require(bool(np.all(z >= -1e-12)), "z must be non-negative")
+        require(regularization >= 0.0, "regularization must be non-negative")
+        self.dataset = dataset
+        self.z = z
+        self.regularization = float(regularization)
+        self.block_diagonal: Optional[BlockDiagonalMatrix] = None
+        self.block_diagonal_inverse: Optional[BlockDiagonalMatrix] = None
+        if build_preconditioner:
+            bd = dataset.sigma_block_diagonal(z)
+            if self.regularization > 0.0:
+                bd = bd.add_identity(self.regularization)
+            self.block_diagonal = bd
+            self.block_diagonal_inverse = bd.inverse()
+
+    @property
+    def shape(self) -> tuple:
+        dim = self.dataset.joint_dimension
+        return (dim, dim)
+
+    def matvec(self, V: np.ndarray) -> np.ndarray:
+        """``Sigma_z V`` (plus ``reg * V`` if a Tikhonov term is configured)."""
+
+        out = self.dataset.sigma_matvec(V, self.z)
+        if self.regularization > 0.0:
+            out = out + self.regularization * np.asarray(V)
+        return out
+
+    __call__ = matvec
+
+    def precondition(self, V: np.ndarray) -> np.ndarray:
+        """Apply ``B(Sigma_z)^{-1}`` to ``V`` (identity if not built)."""
+
+        if self.block_diagonal_inverse is None:
+            return np.asarray(V).copy()
+        return self.block_diagonal_inverse.matvec(V)
+
+    def dense(self) -> np.ndarray:
+        """Dense ``Sigma_z`` for validation (small problems only)."""
+
+        mat = self.dataset.sigma_dense(self.z)
+        if self.regularization > 0.0:
+            mat = mat + self.regularization * np.eye(mat.shape[0])
+        return mat

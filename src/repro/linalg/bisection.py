@@ -1,0 +1,123 @@
+"""Scalar root finding for the FTRL normalization constant ν.
+
+The Follow-The-Regularized-Leader matrix of the ROUND step (Eq. 10) is
+``A_t = nu_t I + eta * H_{t-1}`` where ``nu_t`` is the unique constant such
+that ``Trace(A_t^{-2}) = 1``.  Given the eigenvalues ``lambda_j`` of
+``eta * H_{t-1}`` this reduces to the monotone scalar equation
+
+    phi(nu) = sum_j (nu + lambda_j)^{-2} = 1.
+
+Both Exact-FIRAL (Line 17 of Algorithm 1) and Approx-FIRAL (Line 10 of
+Algorithm 3, using the block-diagonal eigenvalues) solve it by bisection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.validation import require
+
+__all__ = ["bisect_scalar", "find_ftrl_nu"]
+
+
+def bisect_scalar(
+    fn: Callable[[float], float],
+    lower: float,
+    upper: float,
+    *,
+    tolerance: float = 1e-10,
+    max_iterations: int = 200,
+) -> float:
+    """Find a root of a monotone decreasing ``fn`` on ``[lower, upper]``.
+
+    The caller must supply a bracket with ``fn(lower) >= 0 >= fn(upper)``.
+    Designed for the ν equation, where ``phi(nu) - 1`` is strictly decreasing
+    in ``nu`` on the admissible interval.
+    """
+
+    require(upper > lower, "upper must exceed lower")
+    f_low = fn(lower)
+    f_high = fn(upper)
+    require(f_low >= 0.0, f"fn(lower) must be >= 0; got {f_low}")
+    require(f_high <= 0.0, f"fn(upper) must be <= 0; got {f_high}")
+
+    lo, hi = float(lower), float(upper)
+    for _ in range(max_iterations):
+        mid = 0.5 * (lo + hi)
+        val = fn(mid)
+        if abs(val) <= tolerance or (hi - lo) <= tolerance * max(1.0, abs(mid)):
+            return mid
+        if val > 0.0:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def find_ftrl_nu(
+    eigenvalues: np.ndarray,
+    *,
+    tolerance: float = 1e-10,
+    max_iterations: int = 200,
+) -> float:
+    """Solve ``sum_j (nu + lambda_j)^{-2} = 1`` for ν.
+
+    Parameters
+    ----------
+    eigenvalues:
+        Eigenvalues of ``eta * H_{t-1}`` (any shape; flattened).  They must be
+        non-negative up to round-off since ``H`` is a sum of PSD Fisher
+        blocks.
+    tolerance, max_iterations:
+        Bisection controls.
+
+    Returns
+    -------
+    float
+        The unique ν making ``Trace((nu I + eta H)^{-2}) = 1``.  For the first
+        round with ``H = 0`` and ``m`` eigenvalues this returns ``sqrt(m)``,
+        matching the paper's initialization ``A_1 = sqrt(dc) I``.
+    """
+
+    lam = np.asarray(eigenvalues, dtype=np.float64).ravel()
+    require(lam.size > 0, "eigenvalues must be non-empty")
+    # Clip tiny negative eigenvalues coming from finite-precision eigensolves.
+    # The tolerance is relative to the spectral scale: PSD matrices scaled by a
+    # large eta produce round-off of the order eps * lam.max().
+    scale = max(1.0, float(np.abs(lam).max()))
+    require(
+        bool(np.all(lam > -1e-7 * scale)),
+        "eigenvalues must be non-negative (PSD matrix expected)",
+    )
+    lam = np.clip(lam, 0.0, None)
+
+    m = lam.size
+
+    def phi_minus_one(nu: float) -> float:
+        return float(np.sum(1.0 / (nu + lam) ** 2) - 1.0)
+
+    # Bracket: at nu -> max(0, eps) phi >= m / (eps + max(lam))^2 can be < 1 if
+    # eigenvalues are large, so the lower bound must make phi >= 1.  Using
+    # nu_low slightly above -min(lam) (= 0 after clipping) guarantees
+    # phi(nu_low) >= ... >= 1 when nu_low is small enough; otherwise the root
+    # is negative-shifted and we extend the bracket downwards but keep
+    # nu + lambda_j > 0.
+    nu_high = float(np.sqrt(m) + lam.max() + 1.0)
+    while phi_minus_one(nu_high) > 0.0:
+        nu_high *= 2.0
+
+    nu_low = 1e-12
+    if phi_minus_one(nu_low) < 0.0:
+        # All shifted eigenvalues already too large: the root lies in
+        # (-min(lam), nu_low); shrink towards -min(lam) keeping positivity.
+        lam_min = float(lam.min())
+        lo = -lam_min + 1e-12
+        # phi(lo^+) -> +inf so the bracket [lo, nu_low] is valid.
+        return bisect_scalar(
+            phi_minus_one, lo, nu_low, tolerance=tolerance, max_iterations=max_iterations
+        )
+    return bisect_scalar(
+        phi_minus_one, nu_low, nu_high, tolerance=tolerance, max_iterations=max_iterations
+    )

@@ -1,0 +1,287 @@
+"""Block-diagonal matrices with ``c`` dense ``d x d`` blocks.
+
+Definition 1 in the paper introduces the block-diagonal operation ``B(H)``
+that keeps only the ``d x d`` diagonal blocks of a ``dc x dc`` matrix.  Both
+the CG preconditioner of the fast RELAX step and every matrix appearing in
+the diagonal ROUND step (Algorithm 3) are of this form, so the class below is
+the workhorse data structure of Approx-FIRAL.
+
+Storage is a single ``(c, d, d)`` array; all operations (matvec, inverse,
+Cholesky-based solves, eigenvalues, quadratic forms) are batched over the
+class axis with ``numpy.einsum`` / stacked LAPACK calls, mirroring the
+``cupy.einsum`` / ``cupy.linalg`` batching described in § III-C.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.backend import default_dtype
+from repro.utils.validation import check_square_blocks, require
+
+__all__ = ["BlockDiagonalMatrix"]
+
+
+class BlockDiagonalMatrix:
+    """A ``dc x dc`` symmetric matrix stored as ``c`` diagonal blocks.
+
+    Parameters
+    ----------
+    blocks:
+        Array of shape ``(c, d, d)``.  Block ``k`` acts on the ``k``-th
+        ``d``-dimensional slice of a vectorized weight ``v in R^{dc}``
+        (column-major over classes, i.e. ``v.reshape(c, d)`` rows).
+    copy:
+        Whether to copy the input array (default ``True``).
+    """
+
+    def __init__(self, blocks: np.ndarray, *, copy: bool = True):
+        arr = check_square_blocks(blocks)
+        self.blocks = np.array(arr, copy=copy)
+        self.num_blocks = int(arr.shape[0])
+        self.block_size = int(arr.shape[1])
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def identity(cls, num_blocks: int, block_size: int, scale: float = 1.0, dtype=None) -> "BlockDiagonalMatrix":
+        """Return ``scale * I`` with the given block structure."""
+
+        require(num_blocks > 0, "num_blocks must be positive")
+        require(block_size > 0, "block_size must be positive")
+        dt = np.dtype(dtype) if dtype is not None else default_dtype()
+        eye = np.eye(block_size, dtype=dt) * dt.type(scale)
+        return cls(np.broadcast_to(eye, (num_blocks, block_size, block_size)).copy(), copy=False)
+
+    @classmethod
+    def zeros(cls, num_blocks: int, block_size: int, dtype=None) -> "BlockDiagonalMatrix":
+        """Return the zero matrix with the given block structure."""
+
+        dt = np.dtype(dtype) if dtype is not None else default_dtype()
+        return cls(np.zeros((num_blocks, block_size, block_size), dtype=dt), copy=False)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, num_blocks: int) -> "BlockDiagonalMatrix":
+        """Extract the block diagonal ``B(H)`` of a dense ``dc x dc`` matrix.
+
+        This is the literal Definition 1 of the paper and is used in tests to
+        validate the fast construction of ``B(Sigma_z)`` against the dense
+        Hessian sum.
+        """
+
+        dense = np.asarray(dense)
+        require(dense.ndim == 2 and dense.shape[0] == dense.shape[1], "dense must be square")
+        dim = dense.shape[0]
+        require(dim % num_blocks == 0, f"matrix dim {dim} not divisible by num_blocks {num_blocks}")
+        d = dim // num_blocks
+        blocks = np.empty((num_blocks, d, d), dtype=dense.dtype)
+        for k in range(num_blocks):
+            sl = slice(k * d, (k + 1) * d)
+            blocks[k] = dense[sl, sl]
+        return cls(blocks, copy=False)
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple:
+        dim = self.num_blocks * self.block_size
+        return (dim, dim)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.blocks.dtype
+
+    def copy(self) -> "BlockDiagonalMatrix":
+        return BlockDiagonalMatrix(self.blocks, copy=True)
+
+    def astype(self, dtype) -> "BlockDiagonalMatrix":
+        return BlockDiagonalMatrix(self.blocks.astype(dtype), copy=False)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the full ``dc x dc`` matrix (test/diagnostic use only)."""
+
+        dim = self.num_blocks * self.block_size
+        out = np.zeros((dim, dim), dtype=self.blocks.dtype)
+        d = self.block_size
+        for k in range(self.num_blocks):
+            sl = slice(k * d, (k + 1) * d)
+            out[sl, sl] = self.blocks[k]
+        return out
+
+    def symmetrize(self) -> "BlockDiagonalMatrix":
+        """Return ``(A + A^T) / 2`` applied block-wise."""
+
+        sym = 0.5 * (self.blocks + np.transpose(self.blocks, (0, 2, 1)))
+        return BlockDiagonalMatrix(sym, copy=False)
+
+    # ------------------------------------------------------------------ #
+    # algebra
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: "BlockDiagonalMatrix") -> "BlockDiagonalMatrix":
+        self._check_compatible(other)
+        return BlockDiagonalMatrix(self.blocks + other.blocks, copy=False)
+
+    def __sub__(self, other: "BlockDiagonalMatrix") -> "BlockDiagonalMatrix":
+        self._check_compatible(other)
+        return BlockDiagonalMatrix(self.blocks - other.blocks, copy=False)
+
+    def __mul__(self, scalar: float) -> "BlockDiagonalMatrix":
+        return BlockDiagonalMatrix(self.blocks * scalar, copy=False)
+
+    __rmul__ = __mul__
+
+    def add_scaled(self, other: "BlockDiagonalMatrix", scale: float) -> "BlockDiagonalMatrix":
+        """Return ``self + scale * other`` without an intermediate copy per op."""
+
+        self._check_compatible(other)
+        return BlockDiagonalMatrix(self.blocks + scale * other.blocks, copy=False)
+
+    def add_identity(self, scale: float) -> "BlockDiagonalMatrix":
+        """Return ``self + scale * I``."""
+
+        out = self.blocks.copy()
+        idx = np.arange(self.block_size)
+        out[:, idx, idx] += self.dtype.type(scale)
+        return BlockDiagonalMatrix(out, copy=False)
+
+    def matmul(self, other: "BlockDiagonalMatrix") -> "BlockDiagonalMatrix":
+        """Block-wise matrix product ``self @ other``."""
+
+        self._check_compatible(other)
+        return BlockDiagonalMatrix(np.einsum("kij,kjl->kil", self.blocks, other.blocks), copy=False)
+
+    def _check_compatible(self, other: "BlockDiagonalMatrix") -> None:
+        require(isinstance(other, BlockDiagonalMatrix), "operand must be a BlockDiagonalMatrix")
+        require(
+            self.num_blocks == other.num_blocks and self.block_size == other.block_size,
+            "block structures do not match",
+        )
+
+    # ------------------------------------------------------------------ #
+    # matvec / solves
+    # ------------------------------------------------------------------ #
+    def _reshape_vec(self, v: np.ndarray) -> tuple:
+        """Reshape ``(dc,)`` or ``(dc, s)`` input into ``(c, d, s)``."""
+
+        v = np.asarray(v)
+        dim = self.num_blocks * self.block_size
+        single = v.ndim == 1
+        if single:
+            v = v[:, None]
+        require(v.shape[0] == dim, f"vector length {v.shape[0]} != matrix dim {dim}")
+        return v.reshape(self.num_blocks, self.block_size, v.shape[1]), single
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        """Compute ``A @ v`` for ``v`` of shape ``(dc,)`` or ``(dc, s)``."""
+
+        vb, single = self._reshape_vec(v)
+        out = np.einsum("kij,kjs->kis", self.blocks, vb)
+        out = out.reshape(self.num_blocks * self.block_size, -1)
+        return out[:, 0] if single else out
+
+    __matmul__ = matvec
+
+    def solve(self, v: np.ndarray) -> np.ndarray:
+        """Solve ``A x = v`` block-by-block using batched LAPACK."""
+
+        vb, single = self._reshape_vec(v)
+        sol = np.linalg.solve(self.blocks.astype(np.float64), vb.astype(np.float64))
+        sol = sol.reshape(self.num_blocks * self.block_size, -1).astype(self.dtype)
+        return sol[:, 0] if single else sol
+
+    def inverse(self) -> "BlockDiagonalMatrix":
+        """Return the block-wise inverse ``A^{-1}``.
+
+        This is the ``cupy.linalg.inv`` call in Line 5 of Algorithm 2 and
+        Lines 4/11 of Algorithm 3.  The inverse is computed in float64 and
+        cast back to the storage dtype for robustness in single precision.
+        """
+
+        inv = np.linalg.inv(self.blocks.astype(np.float64)).astype(self.dtype)
+        return BlockDiagonalMatrix(inv, copy=False)
+
+    def cholesky(self) -> "BlockDiagonalMatrix":
+        """Return the block-wise lower Cholesky factor (requires SPD blocks)."""
+
+        chol = np.linalg.cholesky(self.blocks.astype(np.float64)).astype(self.dtype)
+        return BlockDiagonalMatrix(chol, copy=False)
+
+    def sqrt(self) -> "BlockDiagonalMatrix":
+        """Return the symmetric positive-definite square root ``A^{1/2}``.
+
+        Needed for the similarity transform of Eq. (8): the ROUND step works
+        with ``Sigma_*^{1/2} A_t Sigma_*^{1/2}``.
+        """
+
+        w, V = np.linalg.eigh(self.blocks.astype(np.float64))
+        require(bool(np.all(w > -1e-10)), "matrix must be PSD for sqrt")
+        w = np.clip(w, 0.0, None)
+        sqrt_blocks = np.einsum("kij,kj,klj->kil", V, np.sqrt(w), V)
+        return BlockDiagonalMatrix(sqrt_blocks.astype(self.dtype), copy=False)
+
+    # ------------------------------------------------------------------ #
+    # spectra / scalar reductions
+    # ------------------------------------------------------------------ #
+    def eigenvalues(self) -> np.ndarray:
+        """Eigenvalues of every block, shape ``(c, d)`` (ascending per block).
+
+        Mirrors the batched ``cupy.linalg.eigvalsh`` call of Line 9 in
+        Algorithm 3.
+        """
+
+        sym = 0.5 * (self.blocks + np.transpose(self.blocks, (0, 2, 1)))
+        return np.linalg.eigvalsh(sym.astype(np.float64))
+
+    def min_eigenvalue(self) -> float:
+        """Smallest eigenvalue over all blocks (used by the η selection rule)."""
+
+        return float(self.eigenvalues().min())
+
+    def trace(self) -> float:
+        """Trace of the full matrix (sum of block traces)."""
+
+        return float(np.einsum("kii->", self.blocks.astype(np.float64)))
+
+    def quadratic_form(self, X: np.ndarray) -> np.ndarray:
+        """Batched quadratic forms ``x_i^T A_k x_i`` for every point and block.
+
+        Parameters
+        ----------
+        X:
+            Array of shape ``(n, d)``.
+
+        Returns
+        -------
+        ndarray of shape ``(n, c)`` with entry ``[i, k] = x_i^T A_k x_i``.
+        This is the core einsum of the ROUND objective (Eq. 17).
+        """
+
+        X = np.asarray(X)
+        require(X.ndim == 2 and X.shape[1] == self.block_size, "X must have shape (n, d)")
+        # (n, c, d) intermediate avoided: contract in one einsum call
+        return np.einsum("nd,kde,ne->nk", X, self.blocks, X, optimize=True)
+
+    def bilinear_form(self, X: np.ndarray, other: "BlockDiagonalMatrix") -> np.ndarray:
+        """Batched forms ``x_i^T A_k M_k A_k x_i`` with ``M = other``.
+
+        The ROUND objective of Proposition 4 needs
+        ``x^T B_t^{-1} Sigma_*^{-1} B_t^{-1} x`` which is exactly this pattern
+        with ``A = B_t^{-1}`` and ``M = Sigma_*^{-1}``.
+        """
+
+        self._check_compatible(other)
+        X = np.asarray(X)
+        require(X.ndim == 2 and X.shape[1] == self.block_size, "X must have shape (n, d)")
+        # y_{n,k,d} = A_k x_n; result = y^T M y
+        Y = np.einsum("kde,ne->nkd", self.blocks, X, optimize=True)
+        return np.einsum("nkd,kde,nke->nk", Y, other.blocks, Y, optimize=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BlockDiagonalMatrix(num_blocks={self.num_blocks}, "
+            f"block_size={self.block_size}, dtype={self.dtype})"
+        )

@@ -1,0 +1,41 @@
+"""Classifier substrate: multinomial logistic regression and metrics.
+
+The paper trains a multiclass logistic-regression classifier (scikit-learn's
+implementation) on the labeled pool after each active-learning round and
+evaluates pool / evaluation accuracy.  scikit-learn is not available in this
+environment, so :class:`repro.models.LogisticRegressionClassifier` implements
+the same multinomial model with an L-BFGS optimizer on top of SciPy.
+
+The softmax utilities also supply the class-probability vectors ``h_i`` that
+parameterize the per-point Fisher information matrices (Eq. 2).
+"""
+
+from repro.models.softmax import (
+    log_softmax,
+    negative_log_likelihood,
+    nll_and_gradient,
+    reduced_probabilities,
+    softmax,
+    softmax_probabilities,
+)
+from repro.models.logistic_regression import LogisticRegressionClassifier
+from repro.models.metrics import (
+    accuracy,
+    class_balanced_accuracy,
+    confusion_matrix,
+    per_class_accuracy,
+)
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "softmax_probabilities",
+    "reduced_probabilities",
+    "negative_log_likelihood",
+    "nll_and_gradient",
+    "LogisticRegressionClassifier",
+    "accuracy",
+    "class_balanced_accuracy",
+    "per_class_accuracy",
+    "confusion_matrix",
+]

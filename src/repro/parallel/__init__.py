@@ -1,0 +1,40 @@
+"""Parallel (multi-rank) substrate for Approx-FIRAL.
+
+The paper's implementation distributes the pool points across ``p`` GPUs and
+uses three MPI collectives (Allreduce, Allgather, Bcast) for all
+inter-GPU communication (§ III-C).  Neither GPUs nor an MPI launcher are
+available in this environment, so this package provides:
+
+* :mod:`repro.parallel.comm` — an MPI-like communicator interface with an
+  in-process :class:`SimulatedComm` implementation that executes the same
+  collectives over explicit per-rank data shards and records message counts
+  and volumes (so the analytic cost model of :mod:`repro.perfmodel` can be
+  applied to the *actual* communication pattern).
+* :mod:`repro.parallel.partition` — block partitioning of pool points and of
+  class blocks across ranks.
+* :mod:`repro.parallel.distributed_relax` / ``distributed_round`` — SPMD
+  formulations of Algorithms 2 and 3 over the communicator, validated against
+  the serial solvers.
+* :mod:`repro.parallel.cluster` — a driver that runs a p-rank job in-process
+  and reports per-rank compute time plus modeled communication time, which is
+  how the strong/weak scaling figures (Figs. 6-7) are regenerated.
+"""
+
+from repro.parallel.comm import CommunicationLog, SimulatedComm, create_communicators
+from repro.parallel.partition import block_partition, partition_indices, partition_pool
+from repro.parallel.distributed_relax import distributed_relax
+from repro.parallel.distributed_round import distributed_round
+from repro.parallel.cluster import SimulatedCluster, ScalingMeasurement
+
+__all__ = [
+    "CommunicationLog",
+    "SimulatedComm",
+    "create_communicators",
+    "block_partition",
+    "partition_indices",
+    "partition_pool",
+    "distributed_relax",
+    "distributed_round",
+    "SimulatedCluster",
+    "ScalingMeasurement",
+]

@@ -1,0 +1,176 @@
+"""MPI-like collectives executed in-process over explicit rank shards.
+
+The paper's code calls ``MPI_Allreduce``, ``MPI_Allgather`` and ``MPI_Bcast``
+through mpi4py on GPU buffers.  Here the same collectives are *simulated*:
+all ranks live in one process, each holds its own arrays, and a collective is
+a plain function combining the per-rank inputs.  Two things are preserved
+exactly:
+
+1. the numerical semantics (the distributed solvers produce the same results
+   as the serial ones up to floating-point reduction order), and
+2. the communication pattern — every collective call is logged with its
+   message size so the analytic cost model (§ III-C, Table IV) can be applied
+   to the run afterwards.
+
+``SimulatedComm`` deliberately exposes the lower-case mpi4py-style method
+names (``allreduce``, ``allgather``, ``bcast``) plus an ``argmax`` helper so
+distributed code reads like the MPI original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import require
+
+__all__ = ["CommunicationLog", "SimulatedComm", "create_communicators"]
+
+
+@dataclass
+class CommunicationLog:
+    """Per-collective call counts and message volumes (bytes).
+
+    One log is shared by all ranks of a simulated communicator; counts are
+    incremented once per collective (not once per rank), matching how the
+    cost model charges a single collective time to the whole machine.
+    """
+
+    calls: Dict[str, int] = field(default_factory=dict)
+    bytes_moved: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, name: str, message_bytes: int) -> None:
+        require(message_bytes >= 0, "message size must be non-negative")
+        self.calls[name] = self.calls.get(name, 0) + 1
+        self.bytes_moved[name] = self.bytes_moved.get(name, 0) + int(message_bytes)
+
+    def total_calls(self) -> int:
+        return int(sum(self.calls.values()))
+
+    def total_bytes(self) -> int:
+        return int(sum(self.bytes_moved.values()))
+
+    def merge(self, other: "CommunicationLog") -> "CommunicationLog":
+        merged = CommunicationLog(dict(self.calls), dict(self.bytes_moved))
+        for key, value in other.calls.items():
+            merged.calls[key] = merged.calls.get(key, 0) + value
+        for key, value in other.bytes_moved.items():
+            merged.bytes_moved[key] = merged.bytes_moved.get(key, 0) + value
+        return merged
+
+    def as_dict(self) -> Dict[str, Dict[str, int]]:
+        return {"calls": dict(self.calls), "bytes": dict(self.bytes_moved)}
+
+
+class _SharedState:
+    """State shared by the rank handles of one simulated communicator."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self.log = CommunicationLog()
+        self.buffers: Dict[str, List[Optional[np.ndarray]]] = {}
+
+
+class SimulatedComm:
+    """Handle for one rank of an in-process simulated communicator.
+
+    All ranks created by :func:`create_communicators` share a single
+    :class:`_SharedState`.  Collectives follow a two-phase protocol: every
+    rank first *posts* its contribution, and the last rank to post triggers
+    the combine; results are then read back by each rank.  Because the
+    distributed drivers in this package iterate over ranks in a loop
+    (bulk-synchronous), the simpler synchronous helpers below take the full
+    list of per-rank contributions at once, via the class-level collectives.
+    """
+
+    def __init__(self, rank: int, state: _SharedState):
+        require(0 <= rank < state.size, "rank out of range")
+        self.rank = int(rank)
+        self._state = state
+
+    # ------------------------------------------------------------------ #
+    # size / identity
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        return self._state.size
+
+    @property
+    def log(self) -> CommunicationLog:
+        return self._state.log
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimulatedComm(rank={self.rank}, size={self.size})"
+
+    # ------------------------------------------------------------------ #
+    # collectives over explicit per-rank contribution lists
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def allreduce(contributions: Sequence[np.ndarray], log: CommunicationLog, op: str = "sum") -> np.ndarray:
+        """Combine per-rank arrays with ``sum`` or ``max`` and log the traffic.
+
+        The result is what every rank would hold after ``MPI_Allreduce``.
+        """
+
+        require(len(contributions) > 0, "allreduce needs at least one contribution")
+        arrays = [np.asarray(a) for a in contributions]
+        shapes = {a.shape for a in arrays}
+        require(len(shapes) == 1, "allreduce contributions must share a shape")
+        stacked = np.stack(arrays, axis=0)
+        if op == "sum":
+            result = stacked.sum(axis=0)
+        elif op == "max":
+            result = stacked.max(axis=0)
+        elif op == "min":
+            result = stacked.min(axis=0)
+        else:
+            raise ValueError(f"unsupported allreduce op '{op}'")
+        log.record("allreduce", int(arrays[0].nbytes))
+        return result
+
+    @staticmethod
+    def allgather(contributions: Sequence[np.ndarray], log: CommunicationLog) -> np.ndarray:
+        """Concatenate per-rank arrays along axis 0 (``MPI_Allgather``)."""
+
+        require(len(contributions) > 0, "allgather needs at least one contribution")
+        arrays = [np.asarray(a) for a in contributions]
+        log.record("allgather", int(sum(a.nbytes for a in arrays)))
+        return np.concatenate(arrays, axis=0)
+
+    @staticmethod
+    def bcast(value: np.ndarray, log: CommunicationLog) -> np.ndarray:
+        """Broadcast an array from its owner to all ranks (``MPI_Bcast``)."""
+
+        arr = np.asarray(value)
+        log.record("bcast", int(arr.nbytes))
+        return arr
+
+    @staticmethod
+    def argmax_allreduce(
+        local_values: Sequence[float],
+        local_indices: Sequence[int],
+        log: CommunicationLog,
+    ) -> tuple:
+        """Global argmax over per-rank (value, index) pairs.
+
+        Mirrors the ``MPI_Allreduce`` with ``MAXLOC`` semantics the ROUND step
+        uses to find the point with the maximum objective across GPUs
+        (§ III-C).  Returns ``(owner_rank, global_index, value)``.
+        """
+
+        require(len(local_values) == len(local_indices), "values and indices must align")
+        require(len(local_values) > 0, "argmax_allreduce needs at least one rank")
+        values = np.asarray(local_values, dtype=np.float64)
+        owner = int(np.argmax(values))
+        log.record("allreduce", int(values.nbytes + np.asarray(local_indices).nbytes))
+        return owner, int(local_indices[owner]), float(values[owner])
+
+
+def create_communicators(size: int) -> List[SimulatedComm]:
+    """Create the ``size`` rank handles of one simulated communicator."""
+
+    require(size > 0, "communicator size must be positive")
+    state = _SharedState(size)
+    return [SimulatedComm(rank, state) for rank in range(size)]

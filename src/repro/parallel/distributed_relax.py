@@ -1,0 +1,260 @@
+"""Distributed (SPMD) formulation of the fast RELAX solver (Algorithm 2).
+
+The pool is partitioned across ``p`` ranks; the labeled set is replicated.
+Per mirror-descent iteration the communication pattern follows § III-C:
+
+* probes are broadcast from rank 0 (``MPI_Bcast``),
+* the block-diagonal preconditioner is assembled from per-rank partial sums
+  (``MPI_Allreduce`` of ``c d^2`` floats),
+* every CG iteration allreduces the per-rank partial matvecs
+  (``MPI_Allreduce`` of ``c d s`` floats),
+* the gradient and the ``z`` update are purely local except for the simplex
+  normalization (an allreduce of two scalars).
+
+Per-rank compute seconds are measured for each component so that the
+strong/weak scaling figures can combine ``max``-over-ranks compute with the
+analytic communication model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import RelaxConfig
+from repro.fisher.hessian import block_diagonal_of_sum
+from repro.fisher.matvec import hessian_sum_matvec, probe_hessian_quadratic_forms
+from repro.fisher.operators import FisherDataset
+from repro.linalg.block_diag import BlockDiagonalMatrix
+from repro.linalg.cg import conjugate_gradient
+from repro.parallel.comm import CommunicationLog, SimulatedComm
+from repro.parallel.partition import partition_pool
+from repro.utils.random import as_generator, rademacher
+from repro.utils.validation import require
+
+__all__ = ["DistributedRelaxResult", "distributed_relax"]
+
+
+@dataclass
+class DistributedRelaxResult:
+    """Output of a distributed RELAX solve.
+
+    ``per_rank_seconds`` maps a component name (``"setup_preconditioner"``,
+    ``"cg"``, ``"gradient"``, ``"other"``) to an array of per-rank compute
+    seconds; the parallel compute estimate for a component is its max over
+    ranks.  ``comm_log`` records every collective with its message size.
+    """
+
+    weights: np.ndarray
+    iterations: int
+    cg_iterations: int
+    num_ranks: int
+    per_rank_seconds: Dict[str, np.ndarray] = field(default_factory=dict)
+    comm_log: CommunicationLog = field(default_factory=CommunicationLog)
+
+    def max_rank_seconds(self, component: str) -> float:
+        values = self.per_rank_seconds.get(component)
+        return float(values.max()) if values is not None and values.size else 0.0
+
+    def compute_seconds(self) -> float:
+        """Modeled parallel compute time: sum over components of max over ranks."""
+
+        return float(sum(self.max_rank_seconds(name) for name in self.per_rank_seconds))
+
+
+class _RankTimers:
+    """Per-rank, per-component second accumulators."""
+
+    def __init__(self, num_ranks: int):
+        self.num_ranks = num_ranks
+        self.seconds: Dict[str, np.ndarray] = {}
+
+    def add(self, component: str, rank: int, value: float) -> None:
+        if component not in self.seconds:
+            self.seconds[component] = np.zeros(self.num_ranks, dtype=np.float64)
+        self.seconds[component][rank] += value
+
+    def timed(self, component: str, rank: int):
+        timers = self
+
+        class _Ctx:
+            def __enter__(self):
+                self._start = time.perf_counter()
+                return self
+
+            def __exit__(self, *exc):
+                timers.add(component, rank, time.perf_counter() - self._start)
+                return False
+
+        return _Ctx()
+
+
+def distributed_relax(
+    dataset: FisherDataset,
+    budget: int,
+    *,
+    num_ranks: int,
+    config: Optional[RelaxConfig] = None,
+) -> DistributedRelaxResult:
+    """Run Algorithm 2 over ``num_ranks`` simulated ranks.
+
+    Numerically equivalent (up to reduction order) to
+    :func:`repro.core.approx_relax.approx_relax` with the same configuration,
+    which the test suite verifies.
+    """
+
+    require(budget > 0, "budget must be positive")
+    require(num_ranks > 0, "num_ranks must be positive")
+    cfg = config or RelaxConfig(track_objective="none")
+    require(
+        cfg.track_objective == "none",
+        "distributed_relax does not track the objective; use track_objective='none'",
+    )
+    rng = as_generator(cfg.seed)
+
+    shards = partition_pool(dataset, num_ranks)
+    local_sizes = [shard.num_pool for shard in shards]
+    n = dataset.num_pool
+    dc = dataset.joint_dimension
+
+    comm_log = CommunicationLog()
+    timers = _RankTimers(num_ranks)
+
+    # z is partitioned like the pool; start uniform.
+    local_z: List[np.ndarray] = [np.full(size, 1.0 / n, dtype=np.float64) for size in local_sizes]
+
+    total_cg_iterations = 0
+    iterations = 0
+    for t in range(1, cfg.max_iterations + 1):
+        iterations = t
+
+        # Rank 0 draws the Rademacher probes and broadcasts them (Line 4).
+        probes = rademacher((dc, cfg.num_probes), rng=rng, dtype=np.float64)
+        probes = SimulatedComm.bcast(probes, comm_log)
+
+        # Line 5: per-rank partial block diagonals of H_z, allreduced, plus H_o.
+        partial_blocks = []
+        for rank, shard in enumerate(shards):
+            with timers.timed("setup_preconditioner", rank):
+                partial = block_diagonal_of_sum(
+                    shard.pool_features, shard.pool_probabilities, weights=budget * local_z[rank]
+                )
+            partial_blocks.append(partial.blocks)
+        summed = SimulatedComm.allreduce(partial_blocks, comm_log)
+        with timers.timed("setup_preconditioner", 0):
+            labeled_blocks = dataset.labeled_block_diagonal()
+        sigma_blocks = BlockDiagonalMatrix(summed, copy=False) + labeled_blocks
+        if cfg.regularization > 0.0:
+            sigma_blocks = sigma_blocks.add_identity(cfg.regularization)
+        # The inversion is replicated on every rank in the real code; it is
+        # executed once here and charged to rank 0 (replicated work does not
+        # change the max-over-ranks parallel estimate).
+        with timers.timed("setup_preconditioner", 0):
+            preconditioner = sigma_blocks.inverse()
+
+        def sigma_matvec(V: np.ndarray) -> np.ndarray:
+            """Distributed Sigma_z matvec: per-rank partials + allreduce + H_o."""
+
+            partials = []
+            for rank, shard in enumerate(shards):
+                with timers.timed("cg", rank):
+                    partials.append(
+                        hessian_sum_matvec(
+                            shard.pool_features,
+                            shard.pool_probabilities,
+                            V,
+                            weights=budget * local_z[rank],
+                        )
+                    )
+            reduced = SimulatedComm.allreduce(partials, comm_log)
+            with timers.timed("cg", 0):
+                labeled_part = dataset.labeled_hessian_matvec(V)
+                out = reduced + labeled_part
+                if cfg.regularization > 0.0:
+                    out = out + cfg.regularization * np.asarray(V)
+            return out
+
+        def pool_matvec(V: np.ndarray) -> np.ndarray:
+            """Distributed H_p matvec (unweighted pool sum)."""
+
+            partials = []
+            for rank, shard in enumerate(shards):
+                with timers.timed("other", rank):
+                    partials.append(
+                        hessian_sum_matvec(shard.pool_features, shard.pool_probabilities, V)
+                    )
+            return SimulatedComm.allreduce(partials, comm_log)
+
+        # Lines 6-8: two preconditioned CG solves around an H_p application.
+        first = conjugate_gradient(
+            sigma_matvec,
+            probes,
+            preconditioner=preconditioner.matvec,
+            rtol=cfg.cg_tolerance,
+            max_iterations=cfg.cg_max_iterations,
+            record_history=False,
+        )
+        total_cg_iterations += first.iterations
+        applied = pool_matvec(first.solution)
+        second = conjugate_gradient(
+            sigma_matvec,
+            applied,
+            preconditioner=preconditioner.matvec,
+            rtol=cfg.cg_tolerance,
+            max_iterations=cfg.cg_max_iterations,
+            record_history=False,
+        )
+        total_cg_iterations += second.iterations
+
+        # Line 9: local gradient estimates.
+        local_grads = []
+        for rank, shard in enumerate(shards):
+            with timers.timed("gradient", rank):
+                local_grads.append(
+                    -probe_hessian_quadratic_forms(
+                        shard.pool_features, shard.pool_probabilities, probes, second.solution
+                    )
+                )
+
+        # Lines 10-11: exponentiated-gradient update with a global normalization.
+        global_scale = 1.0
+        if cfg.normalize_gradient:
+            local_max = [float(np.max(np.abs(g))) if g.size else 0.0 for g in local_grads]
+            global_scale = float(
+                SimulatedComm.allreduce([np.asarray([m]) for m in local_max], comm_log, op="max")[0]
+            )
+        beta = cfg.step_size(t, global_scale)
+
+        local_logs = []
+        local_log_max = []
+        for rank in range(num_ranks):
+            with timers.timed("other", rank):
+                log_z = np.log(np.clip(local_z[rank], 1e-300, None)) - beta * local_grads[rank]
+            local_logs.append(log_z)
+            local_log_max.append(float(log_z.max()) if log_z.size else -np.inf)
+        global_log_max = float(
+            SimulatedComm.allreduce([np.asarray([m]) for m in local_log_max], comm_log, op="max")[0]
+        )
+        local_exp = []
+        local_sums = []
+        for rank in range(num_ranks):
+            with timers.timed("other", rank):
+                expd = np.exp(local_logs[rank] - global_log_max)
+            local_exp.append(expd)
+            local_sums.append(np.asarray([expd.sum()]))
+        total = float(SimulatedComm.allreduce(local_sums, comm_log)[0])
+        for rank in range(num_ranks):
+            local_z[rank] = local_exp[rank] / total
+
+    weights = SimulatedComm.allgather([budget * z for z in local_z], comm_log)
+    return DistributedRelaxResult(
+        weights=weights,
+        iterations=iterations,
+        cg_iterations=total_cg_iterations,
+        num_ranks=num_ranks,
+        per_rank_seconds=timers.seconds,
+        comm_log=comm_log,
+    )

@@ -1,0 +1,187 @@
+"""Distributed (SPMD) formulation of the block-diagonal ROUND solver.
+
+Per selection iteration (§ III-C, Algorithm 3):
+
+* every rank scores its local pool shard with Proposition 4's objective and
+  the global argmax is found with an ``MPI_Allreduce`` (MAXLOC-style),
+* the owner of the winner broadcasts ``x_it`` and ``h_it`` (``MPI_Bcast`` of
+  ``c + d`` floats),
+* the ``c`` class-block eigenvalue problems are distributed across ranks and
+  collected with ``MPI_Allgather``,
+* the FTRL constant ν and the refreshed ``B_{t+1}^{-1}`` are computed
+  redundantly on every rank (replicated ``O(c d^3)`` work).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+from scipy import linalg as sla
+
+from repro.core.config import RoundConfig
+from repro.fisher.hessian import block_diagonal_of_sum, point_block_coefficients
+from repro.fisher.operators import FisherDataset
+from repro.linalg.bisection import find_ftrl_nu
+from repro.linalg.block_diag import BlockDiagonalMatrix
+from repro.linalg.sherman_morrison import block_rank_one_quadratic_forms
+from repro.parallel.comm import CommunicationLog, SimulatedComm
+from repro.parallel.partition import block_partition, partition_pool
+from repro.utils.validation import require
+
+__all__ = ["DistributedRoundResult", "distributed_round"]
+
+
+@dataclass
+class DistributedRoundResult:
+    """Output of a distributed ROUND solve (see ``DistributedRelaxResult``)."""
+
+    selected_indices: np.ndarray
+    eta: float
+    num_ranks: int
+    per_rank_seconds: Dict[str, np.ndarray] = field(default_factory=dict)
+    comm_log: CommunicationLog = field(default_factory=CommunicationLog)
+
+    def max_rank_seconds(self, component: str) -> float:
+        values = self.per_rank_seconds.get(component)
+        return float(values.max()) if values is not None and values.size else 0.0
+
+    def compute_seconds(self) -> float:
+        return float(sum(self.max_rank_seconds(name) for name in self.per_rank_seconds))
+
+
+def distributed_round(
+    dataset: FisherDataset,
+    z_relaxed: np.ndarray,
+    budget: int,
+    eta: float,
+    *,
+    num_ranks: int,
+    config: Optional[RoundConfig] = None,
+) -> DistributedRoundResult:
+    """Run Algorithm 3 over ``num_ranks`` simulated ranks.
+
+    Selects the same points as :func:`repro.core.approx_round.approx_round`
+    (verified by the test suite) while recording per-rank compute time and the
+    collective-communication pattern.
+    """
+
+    require(budget > 0, "budget must be positive")
+    require(eta > 0, "eta must be positive")
+    require(num_ranks > 0, "num_ranks must be positive")
+    cfg = config or RoundConfig(eta=eta)
+
+    z_relaxed = np.asarray(z_relaxed, dtype=np.float64).ravel()
+    require(z_relaxed.shape == (dataset.num_pool,), "z_relaxed must match the pool size")
+
+    shards = partition_pool(dataset, num_ranks)
+    offsets = np.cumsum([0] + [shard.num_pool for shard in shards])
+    local_z = [z_relaxed[offsets[r] : offsets[r + 1]] for r in range(num_ranks)]
+
+    d = dataset.dimension
+    c = dataset.num_classes
+    dc = d * c
+    comm_log = CommunicationLog()
+    per_rank: Dict[str, np.ndarray] = {
+        "objective_function": np.zeros(num_ranks),
+        "compute_eigenvalues": np.zeros(num_ranks),
+        "other": np.zeros(num_ranks),
+    }
+
+    def _timed(component: str, rank: int):
+        class _Ctx:
+            def __enter__(self):
+                self._start = time.perf_counter()
+                return self
+
+            def __exit__(self, *exc):
+                per_rank[component][rank] += time.perf_counter() - self._start
+                return False
+
+        return _Ctx()
+
+    # Line 3: Sigma_* block diagonal from per-rank partial sums + H_o.
+    partials = []
+    for rank, shard in enumerate(shards):
+        with _timed("other", rank):
+            partials.append(
+                block_diagonal_of_sum(
+                    shard.pool_features, shard.pool_probabilities, weights=local_z[rank]
+                ).blocks
+            )
+    summed = SimulatedComm.allreduce(partials, comm_log)
+    with _timed("other", 0):
+        labeled_blocks = dataset.labeled_block_diagonal()
+        sigma_star = BlockDiagonalMatrix(summed, copy=False) + labeled_blocks
+        if cfg.regularization > 0.0:
+            sigma_star = sigma_star.add_identity(cfg.regularization)
+        # Line 4: B_1^{-1}.
+        bt_inv = (sigma_star * np.sqrt(dc) + labeled_blocks * (eta / budget)).inverse()
+        accumulated = BlockDiagonalMatrix.zeros(c, d, dtype=np.float64)
+
+    local_gammas = [point_block_coefficients(shard.pool_probabilities) for shard in shards]
+    local_available = [np.ones(shard.num_pool, dtype=bool) for shard in shards]
+    class_slices = block_partition(c, num_ranks)
+
+    selected: List[int] = []
+    for t in range(1, budget + 1):
+        # Line 7: local scoring + global argmax.
+        local_best_value = []
+        local_best_index = []
+        for rank, shard in enumerate(shards):
+            with _timed("objective_function", rank):
+                scores = block_rank_one_quadratic_forms(
+                    bt_inv, sigma_star, shard.pool_features.astype(np.float64),
+                    local_gammas[rank], eta,
+                )
+                if not cfg.allow_repeats:
+                    scores = np.where(local_available[rank], scores, -np.inf)
+                best_local = int(np.argmax(scores))
+            local_best_value.append(float(scores[best_local]))
+            local_best_index.append(best_local)
+        owner, owner_local_index, best_value = SimulatedComm.argmax_allreduce(
+            local_best_value, local_best_index, comm_log
+        )
+        require(np.isfinite(best_value), "no candidate available for selection")
+        global_index = int(offsets[owner] + owner_local_index)
+        selected.append(global_index)
+        local_available[owner][owner_local_index] = False
+
+        # Line 8 + bcast of the winner's (x, h) to all ranks.
+        x_sel = SimulatedComm.bcast(shards[owner].pool_features[owner_local_index].astype(np.float64), comm_log)
+        gamma_sel = SimulatedComm.bcast(local_gammas[owner][owner_local_index], comm_log)
+        with _timed("other", 0):
+            rank_one = np.einsum("k,d,e->kde", gamma_sel, x_sel, x_sel)
+            accumulated = BlockDiagonalMatrix(
+                accumulated.blocks + labeled_blocks.blocks.astype(np.float64) / budget + rank_one,
+                copy=False,
+            )
+
+        # Line 9: class blocks distributed across ranks, then allgathered.
+        local_eigs = []
+        for rank, sl in enumerate(class_slices):
+            with _timed("compute_eigenvalues", rank):
+                eigs = np.empty((sl.stop - sl.start, d), dtype=np.float64)
+                for j, k in enumerate(range(sl.start, sl.stop)):
+                    a_k = 0.5 * (accumulated.blocks[k] + accumulated.blocks[k].T)
+                    s_k = 0.5 * (sigma_star.blocks[k] + sigma_star.blocks[k].T).astype(np.float64)
+                    eigs[j] = sla.eigh(a_k, s_k, eigvals_only=True)
+            local_eigs.append(eigs)
+        eigenvalues = SimulatedComm.allgather(local_eigs, comm_log)
+
+        # Lines 10-11: nu bisection and the refreshed B_{t+1}^{-1} (replicated).
+        with _timed("other", 0):
+            nu = find_ftrl_nu(eta * eigenvalues)
+            bt_inv = (
+                sigma_star * nu + accumulated * eta + labeled_blocks * (eta / budget)
+            ).inverse()
+
+    return DistributedRoundResult(
+        selected_indices=np.asarray(selected, dtype=np.int64),
+        eta=float(eta),
+        num_ranks=num_ranks,
+        per_rank_seconds=per_rank,
+        comm_log=comm_log,
+    )

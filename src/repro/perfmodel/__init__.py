@@ -1,0 +1,42 @@
+"""Analytic performance model of the paper's HPC implementation.
+
+§ III-C and § IV of the paper estimate "theoretical peak" times for every
+component of the RELAX and ROUND solves from
+
+* a machine model — 19.5 TFLOP/s float32 peak per A100 GPU, message latency
+  ``ts = 1e-4 s``, bandwidth ``1/tw = 2e10 B/s``, reduction cost
+  ``tc = 1e-10 s/B``,
+* collective cost models — recursive doubling for Allreduce/Allgather and a
+  binomial tree for Bcast (after Thakur et al.),
+* operation counts for each algorithm component (Tables II–IV).
+
+Those theoretical series appear next to the measured bars in Figs. 5–7.
+This package reproduces them and is also used by the scaling benchmarks to
+convert the *simulated* cluster's communication log into wall-clock time.
+"""
+
+from repro.perfmodel.machine import A100_MACHINE, MachineSpec
+from repro.perfmodel.collectives import allgather_time, allreduce_time, bcast_time, communication_time
+from repro.perfmodel.complexity import (
+    approx_firal_complexity,
+    exact_firal_complexity,
+    matvec_complexity,
+    speedup_summary,
+)
+from repro.perfmodel.relax_model import relax_step_model
+from repro.perfmodel.round_model import round_step_model
+
+__all__ = [
+    "MachineSpec",
+    "A100_MACHINE",
+    "allreduce_time",
+    "allgather_time",
+    "bcast_time",
+    "communication_time",
+    "exact_firal_complexity",
+    "approx_firal_complexity",
+    "matvec_complexity",
+    "speedup_summary",
+    "relax_step_model",
+    "round_step_model",
+]

@@ -1,0 +1,98 @@
+"""Collective-communication cost models (§ III-C, after Thakur et al. [17]).
+
+With ``ts`` the latency, ``tw`` the transfer time per byte, ``tc`` the local
+reduction time per byte, ``m`` the message size in bytes and ``p`` the number
+of ranks:
+
+* ``MPI_Allreduce`` (recursive doubling):  ``log2(p) * (ts + m*(tw + tc))``
+* ``MPI_Allgather`` (recursive doubling):  ``log2(p)*ts + (p-1)/p * m * tw``
+* ``MPI_Bcast``     (binomial tree):        ``log2(p) * (ts + m*tw)``
+
+All functions return 0 for a single rank (no communication).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.perfmodel.machine import MachineSpec
+from repro.utils.validation import require
+
+__all__ = ["allreduce_time", "allgather_time", "bcast_time", "communication_time"]
+
+
+def _check(message_bytes: float, num_ranks: int) -> None:
+    require(message_bytes >= 0, "message size must be non-negative")
+    require(num_ranks >= 1, "num_ranks must be at least 1")
+
+
+def allreduce_time(machine: MachineSpec, message_bytes: float, num_ranks: int) -> float:
+    """Recursive-doubling Allreduce time for a message of ``message_bytes``."""
+
+    _check(message_bytes, num_ranks)
+    if num_ranks == 1:
+        return 0.0
+    log_p = math.log2(num_ranks)
+    per_byte = machine.seconds_per_byte + machine.reduction_seconds_per_byte
+    return log_p * (machine.latency_seconds + message_bytes * per_byte)
+
+
+def allgather_time(machine: MachineSpec, message_bytes: float, num_ranks: int) -> float:
+    """Recursive-doubling Allgather time; ``message_bytes`` is the total gathered size."""
+
+    _check(message_bytes, num_ranks)
+    if num_ranks == 1:
+        return 0.0
+    log_p = math.log2(num_ranks)
+    return log_p * machine.latency_seconds + (
+        (num_ranks - 1) / num_ranks
+    ) * message_bytes * machine.seconds_per_byte
+
+
+def bcast_time(machine: MachineSpec, message_bytes: float, num_ranks: int) -> float:
+    """Binomial-tree Bcast time for a message of ``message_bytes``."""
+
+    _check(message_bytes, num_ranks)
+    if num_ranks == 1:
+        return 0.0
+    log_p = math.log2(num_ranks)
+    return log_p * (machine.latency_seconds + message_bytes * machine.seconds_per_byte)
+
+
+def communication_time(
+    machine: MachineSpec,
+    traffic: Mapping[str, Mapping[str, int]],
+    num_ranks: int,
+) -> float:
+    """Total modeled communication time for a recorded traffic summary.
+
+    ``traffic`` is the dictionary produced by
+    :meth:`repro.parallel.comm.CommunicationLog.as_dict` — per-collective call
+    counts and cumulative byte volumes.  Each collective's time is estimated
+    as (calls x latency part) + (total bytes x bandwidth part), which equals
+    summing the per-call model when all calls of a kind have the same size.
+    """
+
+    require(num_ranks >= 1, "num_ranks must be at least 1")
+    if num_ranks == 1:
+        return 0.0
+    calls = traffic.get("calls", {})
+    volumes = traffic.get("bytes", {})
+    total = 0.0
+    log_p = math.log2(num_ranks)
+    for kind in set(calls) | set(volumes):
+        count = calls.get(kind, 0)
+        volume = volumes.get(kind, 0)
+        if kind == "allreduce":
+            per_byte = machine.seconds_per_byte + machine.reduction_seconds_per_byte
+            total += count * log_p * machine.latency_seconds + log_p * volume * per_byte
+        elif kind == "allgather":
+            total += count * log_p * machine.latency_seconds + (
+                (num_ranks - 1) / num_ranks
+            ) * volume * machine.seconds_per_byte
+        elif kind == "bcast":
+            total += count * log_p * machine.latency_seconds + log_p * volume * machine.seconds_per_byte
+        else:
+            raise ValueError(f"unknown collective '{kind}' in traffic summary")
+    return total

@@ -1,0 +1,109 @@
+"""Symbolic complexity counts of Tables II and III.
+
+These formulas let the benchmark harness print the storage / computation
+comparison between Exact-FIRAL and Approx-FIRAL for any problem size, and the
+direct vs matrix-free matvec comparison, exactly as the paper tabulates them.
+All counts are in *elements* (storage) and *floating point operations*
+(computation); converting to bytes/seconds is the job of
+:class:`repro.perfmodel.machine.MachineSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.utils.validation import require
+
+__all__ = [
+    "ComplexityEstimate",
+    "exact_firal_complexity",
+    "approx_firal_complexity",
+    "matvec_complexity",
+    "speedup_summary",
+]
+
+
+@dataclass(frozen=True)
+class ComplexityEstimate:
+    """Storage (elements) and computation (FLOPs) for one solver phase."""
+
+    storage_elements: float
+    computation_flops: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"storage": self.storage_elements, "computation": self.computation_flops}
+
+
+def _check_sizes(n: int, d: int, c: int, b: int) -> None:
+    require(n > 0 and d > 0 and c > 0 and b > 0, "problem sizes must be positive")
+
+
+def exact_firal_complexity(
+    n: int, d: int, c: int, b: int, *, relax_iterations: int = 1
+) -> Dict[str, ComplexityEstimate]:
+    """Table II, Exact-FIRAL column.
+
+    Storage ``O(c^2 d^2 + n c^2 d)``; RELAX computation
+    ``O(n_relax * n c^3 d^2)``; ROUND computation ``O(b c^3 (d^3 + n))``.
+    """
+
+    _check_sizes(n, d, c, b)
+    require(relax_iterations > 0, "relax_iterations must be positive")
+    storage = c**2 * d**2 + n * c**2 * d
+    relax = ComplexityEstimate(storage, relax_iterations * n * c**3 * d**2)
+    round_ = ComplexityEstimate(storage, b * c**3 * (d**3 + n))
+    return {"relax": relax, "round": round_}
+
+
+def approx_firal_complexity(
+    n: int,
+    d: int,
+    c: int,
+    b: int,
+    *,
+    num_probes: int = 10,
+    cg_iterations: int = 50,
+    relax_iterations: int = 1,
+) -> Dict[str, ComplexityEstimate]:
+    """Table II, Approx-FIRAL column.
+
+    RELAX storage ``O(n(d + s c) + c d^2)`` and computation
+    ``O(n_relax * n c d (d + n_CG s))``; ROUND storage ``O(n(d + c) + c d^2)``
+    and computation ``O(b n c d^2)``.
+    """
+
+    _check_sizes(n, d, c, b)
+    require(num_probes > 0 and cg_iterations > 0 and relax_iterations > 0, "iteration counts must be positive")
+    relax = ComplexityEstimate(
+        n * (d + num_probes * c) + c * d**2,
+        relax_iterations * n * c * d * (d + cg_iterations * num_probes),
+    )
+    round_ = ComplexityEstimate(n * (d + c) + c * d**2, b * n * c * d**2)
+    return {"relax": relax, "round": round_}
+
+
+def matvec_complexity(d: int, c: int) -> Dict[str, ComplexityEstimate]:
+    """Table III: dense vs matrix-free Hessian matvec for a single point."""
+
+    require(d > 0 and c > 0, "d and c must be positive")
+    direct = ComplexityEstimate(d**2 * c**2, 2 * d**2 * c**2)
+    fast = ComplexityEstimate(d * c, 4 * d * c)
+    return {"direct": direct, "fast": fast}
+
+
+def speedup_summary(n: int, d: int, c: int, b: int, **kwargs) -> Dict[str, float]:
+    """Exact / Approx ratios for storage and computation (per phase).
+
+    The headline of the paper: the ratios grow with ``c`` and ``d``, reaching
+    orders of magnitude for Caltech-101 / ImageNet-scale problems.
+    """
+
+    exact = exact_firal_complexity(n, d, c, b)
+    approx = approx_firal_complexity(n, d, c, b, **kwargs)
+    return {
+        "relax_storage": exact["relax"].storage_elements / approx["relax"].storage_elements,
+        "relax_computation": exact["relax"].computation_flops / approx["relax"].computation_flops,
+        "round_storage": exact["round"].storage_elements / approx["round"].storage_elements,
+        "round_computation": exact["round"].computation_flops / approx["round"].computation_flops,
+    }

@@ -1,0 +1,69 @@
+"""Machine model used for the theoretical time estimates.
+
+Parameters follow § IV of the paper: a 19.5 TFLOP/s float32 peak per A100
+GPU, MPI latency ``ts = 1.0e-4 s``, bandwidth ``1/tw = 2.0e10 byte/s`` and a
+local reduction cost of ``tc = 1.0e-10 s/byte``.  Storage and communication
+are single precision (4 bytes per element).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require
+
+__all__ = ["MachineSpec", "A100_MACHINE"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Per-device compute rate and interconnect parameters.
+
+    Attributes
+    ----------
+    peak_flops:
+        Peak floating-point rate of one device (FLOP/s).
+    latency_seconds:
+        Per-message latency ``ts``.
+    seconds_per_byte:
+        Inverse bandwidth ``tw``.
+    reduction_seconds_per_byte:
+        Local reduction cost ``tc`` (applied per byte in Allreduce).
+    bytes_per_element:
+        Width of one stored element (4 for float32, as in the paper).
+    efficiency:
+        Fraction of peak actually achieved by the kernels; 1.0 reproduces the
+        paper's "theoretical peak" series, smaller values give more realistic
+        estimates for calibration studies.
+    """
+
+    peak_flops: float = 19.5e12
+    latency_seconds: float = 1.0e-4
+    seconds_per_byte: float = 1.0 / 2.0e10
+    reduction_seconds_per_byte: float = 1.0e-10
+    bytes_per_element: int = 4
+    efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        require(self.peak_flops > 0, "peak_flops must be positive")
+        require(self.latency_seconds >= 0, "latency must be non-negative")
+        require(self.seconds_per_byte >= 0, "seconds_per_byte must be non-negative")
+        require(self.reduction_seconds_per_byte >= 0, "reduction cost must be non-negative")
+        require(self.bytes_per_element > 0, "bytes_per_element must be positive")
+        require(0 < self.efficiency <= 1.0, "efficiency must be in (0, 1]")
+
+    def compute_seconds(self, flops: float) -> float:
+        """Time to execute ``flops`` floating point operations on one device."""
+
+        require(flops >= 0, "flops must be non-negative")
+        return flops / (self.peak_flops * self.efficiency)
+
+    def message_bytes(self, num_elements: float) -> float:
+        """Bytes occupied by ``num_elements`` stored values."""
+
+        require(num_elements >= 0, "num_elements must be non-negative")
+        return num_elements * self.bytes_per_element
+
+
+#: The Lonestar6 A100 configuration used throughout § IV.
+A100_MACHINE = MachineSpec()

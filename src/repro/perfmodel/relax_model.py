@@ -1,0 +1,73 @@
+"""Per-component time model of the parallel RELAX step (Table IV, Fig. 5A/B, Fig. 6).
+
+§ III-C / § IV-B derive the following FLOP counts for one mirror-descent
+iteration on ``p`` devices (pool of ``n`` points, dimension ``d``, ``c``
+classes, ``s`` probe vectors, ``n_CG`` CG iterations):
+
+* preconditioner construction: ``2 c n d^2 / p`` for the local block sums plus
+  ``c d^3`` for the batched inversion (replicated),
+* CG: ``4 n_CG n c s d / p`` for the matrix-free matvecs (Lemma 2) plus
+  ``2 n_CG c d^2 s`` for applying the block-diagonal preconditioner,
+* gradient estimation: ``4 n c s d / p``,
+* other (z update, probe generation): ``O(n s / p)``.
+
+Communication per iteration: one Allreduce of the ``c d^2`` preconditioner
+blocks, ``~2 n_CG`` Allreduces of ``c d s`` partial matvecs, and the probe
+broadcast of ``c d s`` values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.perfmodel.collectives import allreduce_time, bcast_time
+from repro.perfmodel.machine import MachineSpec
+from repro.utils.validation import require
+
+__all__ = ["relax_step_model"]
+
+
+def relax_step_model(
+    machine: MachineSpec,
+    *,
+    num_points: int,
+    dimension: int,
+    num_classes: int,
+    num_probes: int = 10,
+    cg_iterations: int = 50,
+    num_ranks: int = 1,
+) -> Dict[str, float]:
+    """Theoretical seconds per RELAX mirror-descent iteration, by component.
+
+    Returns a dict with keys ``setup_preconditioner``, ``cg``, ``gradient``,
+    ``other``, ``communication`` and ``total`` — the legend of Fig. 6 and
+    Fig. 5(A)/(B).
+    """
+
+    require(num_points > 0 and dimension > 0 and num_classes > 0, "sizes must be positive")
+    require(num_probes > 0 and cg_iterations > 0, "probe and CG counts must be positive")
+    require(num_ranks >= 1, "num_ranks must be at least 1")
+
+    n, d, c, s, p = num_points, dimension, num_classes, num_probes, num_ranks
+    n_local = n / p
+
+    precond_flops = 2.0 * c * n_local * d**2 + c * d**3
+    cg_flops = cg_iterations * (4.0 * n_local * c * s * d + 2.0 * c * d**2 * s)
+    gradient_flops = 4.0 * n_local * c * s * d
+    other_flops = 6.0 * n_local * s + 2.0 * c * d * s
+
+    times = {
+        "setup_preconditioner": machine.compute_seconds(precond_flops),
+        "cg": machine.compute_seconds(cg_flops),
+        "gradient": machine.compute_seconds(gradient_flops),
+        "other": machine.compute_seconds(other_flops),
+    }
+
+    precond_bytes = machine.message_bytes(c * d**2)
+    matvec_bytes = machine.message_bytes(c * d * s)
+    communication = allreduce_time(machine, precond_bytes, p)
+    communication += 2.0 * cg_iterations * allreduce_time(machine, matvec_bytes, p)
+    communication += bcast_time(machine, matvec_bytes, p)
+    times["communication"] = communication
+    times["total"] = float(sum(times.values()))
+    return times

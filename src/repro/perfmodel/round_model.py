@@ -1,0 +1,70 @@
+"""Per-component time model of the parallel ROUND step (Table IV, Fig. 5C/D, Fig. 7).
+
+§ IV-B gives the operation counts for one ROUND iteration (selecting one
+point):
+
+* objective evaluation (Eq. 17): ``3 c d^3`` (forming the two block products)
+  plus ``4 n c d^2 / p`` for the batched per-point quadratic forms,
+* eigenvalue computation (Line 9): ``c d^3 / p`` with a prefactor the paper
+  calibrates to ~300 for ``cupy.linalg.eigvalsh``,
+* other: the batched ``c`` block inversions ``O(c d^3)`` for ``B_{t+1}^{-1}``
+  (replicated).
+
+Communication per iteration: one MAXLOC-style Allreduce of a scalar, one
+Bcast of ``c + d`` values and one Allgather of the ``c d`` eigenvalues.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.perfmodel.collectives import allgather_time, allreduce_time, bcast_time
+from repro.perfmodel.machine import MachineSpec
+from repro.utils.validation import require
+
+__all__ = ["round_step_model"]
+
+#: Prefactor the paper fits for the batched eigenvalue kernel (§ IV-B).
+EIGENVALUE_PREFACTOR = 300.0
+
+
+def round_step_model(
+    machine: MachineSpec,
+    *,
+    num_points: int,
+    dimension: int,
+    num_classes: int,
+    num_ranks: int = 1,
+    eigenvalue_prefactor: float = EIGENVALUE_PREFACTOR,
+) -> Dict[str, float]:
+    """Theoretical seconds per ROUND iteration (one selection), by component.
+
+    Returns a dict with keys ``objective_function``, ``compute_eigenvalues``,
+    ``other``, ``communication`` and ``total`` — the legend of Fig. 7 and
+    Fig. 5(C)/(D).
+    """
+
+    require(num_points > 0 and dimension > 0 and num_classes > 0, "sizes must be positive")
+    require(num_ranks >= 1, "num_ranks must be at least 1")
+    require(eigenvalue_prefactor > 0, "eigenvalue_prefactor must be positive")
+
+    n, d, c, p = num_points, dimension, num_classes, num_ranks
+    n_local = n / p
+    c_local = max(c / p, 1.0)
+
+    objective_flops = 3.0 * c * d**3 + 4.0 * n_local * c * d**2
+    eigen_flops = eigenvalue_prefactor * c_local * d**3
+    other_flops = 2.0 * c * d**3  # B_{t+1} assembly + batched inversion (replicated)
+
+    times = {
+        "objective_function": machine.compute_seconds(objective_flops),
+        "compute_eigenvalues": machine.compute_seconds(eigen_flops),
+        "other": machine.compute_seconds(other_flops),
+    }
+
+    communication = allreduce_time(machine, machine.message_bytes(2), p)
+    communication += bcast_time(machine, machine.message_bytes(c + d), p)
+    communication += allgather_time(machine, machine.message_bytes(c * d), p)
+    times["communication"] = communication
+    times["total"] = float(sum(times.values()))
+    return times

@@ -1,0 +1,29 @@
+"""Shared low-level utilities: RNG handling, validation, timing, logging."""
+
+from repro.utils.random import (
+    as_generator,
+    rademacher,
+    spawn_generators,
+)
+from repro.utils.validation import (
+    check_features,
+    check_labels,
+    check_probabilities,
+    check_square_blocks,
+    require,
+)
+from repro.utils.timing import Timer, TimingBreakdown, timed_region
+
+__all__ = [
+    "as_generator",
+    "rademacher",
+    "spawn_generators",
+    "check_features",
+    "check_labels",
+    "check_probabilities",
+    "check_square_blocks",
+    "require",
+    "Timer",
+    "TimingBreakdown",
+    "timed_region",
+]

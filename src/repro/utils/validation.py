@@ -1,0 +1,102 @@
+"""Input validation helpers shared across the library.
+
+These checks fail fast with actionable messages instead of letting shape
+mismatches surface as cryptic einsum errors deep inside the RELAX/ROUND
+solvers.  They are deliberately cheap (O(1) or O(n)) so they can stay enabled
+in production runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "require",
+    "check_features",
+    "check_labels",
+    "check_probabilities",
+    "check_square_blocks",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+
+    if not condition:
+        raise ValueError(message)
+
+
+def check_features(X, name: str = "X") -> np.ndarray:
+    """Validate a feature matrix of shape ``(n, d)`` and return it as ndarray."""
+
+    arr = np.asarray(X)
+    require(arr.ndim == 2, f"{name} must be 2-D (n, d); got shape {arr.shape}")
+    require(arr.shape[0] > 0, f"{name} must contain at least one point")
+    require(arr.shape[1] > 0, f"{name} must have at least one feature")
+    require(np.issubdtype(arr.dtype, np.floating), f"{name} must be floating point")
+    require(np.all(np.isfinite(arr)), f"{name} contains NaN or Inf values")
+    return arr
+
+
+def check_labels(y, num_classes: Optional[int] = None, name: str = "y") -> np.ndarray:
+    """Validate an integer label vector with classes in ``[0, num_classes)``."""
+
+    arr = np.asarray(y)
+    require(arr.ndim == 1, f"{name} must be 1-D; got shape {arr.shape}")
+    require(
+        np.issubdtype(arr.dtype, np.integer),
+        f"{name} must contain integer class indices; got dtype {arr.dtype}",
+    )
+    require(arr.size > 0, f"{name} must contain at least one label")
+    require(int(arr.min()) >= 0, f"{name} contains negative class indices")
+    if num_classes is not None:
+        require(
+            int(arr.max()) < num_classes,
+            f"{name} contains class index {int(arr.max())} >= num_classes={num_classes}",
+        )
+    return arr
+
+
+def check_probabilities(H, num_classes: Optional[int] = None, name: str = "h") -> np.ndarray:
+    """Validate an ``(n, c)`` matrix of class probabilities.
+
+    Rows must be (numerically) *sub*-stochastic: non-negative entries summing
+    to at most 1.  Both parameterizations of the multinomial model are
+    therefore accepted — the full ``c``-column simplex and the reduced
+    ``c - 1``-column form of the paper's Eq. 1 (where the last class's
+    probability is implicit).  The Fisher information structure (Eq. 2) is
+    positive semidefinite exactly under this condition, so this is a
+    correctness guard and not just hygiene.
+    """
+
+    arr = np.asarray(H)
+    require(arr.ndim == 2, f"{name} must be 2-D (n, c); got shape {arr.shape}")
+    if num_classes is not None:
+        require(
+            arr.shape[1] == num_classes,
+            f"{name} must have {num_classes} columns; got {arr.shape[1]}",
+        )
+    require(np.all(np.isfinite(arr)), f"{name} contains NaN or Inf values")
+    require(np.all(arr >= -1e-6), f"{name} contains negative probabilities")
+    row_sums = arr.sum(axis=1)
+    require(
+        bool(np.all(row_sums <= 1.0 + 1e-3)),
+        f"rows of {name} must sum to at most 1 (max sum {float(row_sums.max()):.4f})",
+    )
+    require(bool(np.all(row_sums > 0.0)), f"rows of {name} must not be all zero")
+    return arr
+
+
+def check_square_blocks(blocks, name: str = "blocks") -> np.ndarray:
+    """Validate a stack of square matrices with shape ``(c, d, d)``."""
+
+    arr = np.asarray(blocks)
+    require(arr.ndim == 3, f"{name} must be 3-D (c, d, d); got shape {arr.shape}")
+    require(
+        arr.shape[1] == arr.shape[2],
+        f"{name} blocks must be square; got shape {arr.shape}",
+    )
+    require(np.all(np.isfinite(arr)), f"{name} contains NaN or Inf values")
+    return arr

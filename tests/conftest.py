@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite.
+
+Problem sizes are deliberately small (tens of points, a handful of classes)
+so the whole suite runs in seconds while still exercising every code path,
+including the dense Exact-FIRAL reference implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fisher.operators import FisherDataset
+
+
+def random_probabilities(rng: np.random.Generator, n: int, c: int) -> np.ndarray:
+    """Random points on the probability simplex (rows of shape (n, c))."""
+
+    logits = rng.standard_normal((n, c))
+    expd = np.exp(logits - logits.max(axis=1, keepdims=True))
+    return expd / expd.sum(axis=1, keepdims=True)
+
+
+def make_fisher_dataset(
+    seed: int = 0,
+    *,
+    num_pool: int = 40,
+    num_labeled: int = 8,
+    dimension: int = 6,
+    num_classes: int = 4,
+    dtype=np.float64,
+) -> FisherDataset:
+    """Construct a small random FisherDataset for solver tests."""
+
+    rng = np.random.default_rng(seed)
+    return FisherDataset(
+        pool_features=rng.standard_normal((num_pool, dimension)).astype(dtype),
+        pool_probabilities=random_probabilities(rng, num_pool, num_classes).astype(dtype),
+        labeled_features=rng.standard_normal((num_labeled, dimension)).astype(dtype),
+        labeled_probabilities=random_probabilities(rng, num_labeled, num_classes).astype(dtype),
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_dataset() -> FisherDataset:
+    """A 40-point, 4-class, 6-dimensional Fisher dataset."""
+
+    return make_fisher_dataset(seed=0)
+
+
+@pytest.fixture
+def tiny_dataset() -> FisherDataset:
+    """A very small dataset for the dense Exact-FIRAL reference solves."""
+
+    return make_fisher_dataset(seed=1, num_pool=25, num_labeled=6, dimension=4, num_classes=3)

@@ -1,0 +1,164 @@
+"""Tests for the active-learning experiment driver and result containers."""
+
+import numpy as np
+import pytest
+
+from repro.active.experiment import run_active_learning, run_trials
+from repro.active.problem import ActiveLearningProblem
+from repro.active.results import AggregateResult, ExperimentResult, RoundRecord
+from repro.baselines.entropy import EntropyStrategy
+from repro.baselines.random_sampling import RandomStrategy
+from repro.datasets.registry import build_problem
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return build_problem("cifar10", scale=0.03, seed=0)
+
+
+class TestProblem:
+    def test_summary_mentions_sizes(self, problem):
+        text = problem.summary()
+        assert "c=10" in text and "d=20" in text
+
+    def test_dimension_mismatch_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            ActiveLearningProblem(
+                initial_features=rng.standard_normal((2, 3)),
+                initial_labels=np.array([0, 1]),
+                pool_features=rng.standard_normal((5, 4)),
+                pool_labels=np.zeros(5, dtype=np.int64),
+                eval_features=rng.standard_normal((5, 3)),
+                eval_labels=np.zeros(5, dtype=np.int64),
+                num_classes=2,
+            )
+
+    def test_label_out_of_range_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            ActiveLearningProblem(
+                initial_features=rng.standard_normal((2, 3)),
+                initial_labels=np.array([0, 5]),
+                pool_features=rng.standard_normal((5, 3)),
+                pool_labels=np.zeros(5, dtype=np.int64),
+                eval_features=rng.standard_normal((5, 3)),
+                eval_labels=np.zeros(5, dtype=np.int64),
+                num_classes=2,
+            )
+
+
+class TestRunActiveLearning:
+    def test_record_count_matches_rounds(self, problem):
+        result = run_active_learning(
+            problem, RandomStrategy(), num_rounds=3, budget_per_round=10, seed=0
+        )
+        assert len(result.records) == 4  # initial + 3 rounds
+
+    def test_labels_accumulate_by_budget(self, problem):
+        result = run_active_learning(
+            problem, RandomStrategy(), num_rounds=3, budget_per_round=10, seed=0
+        )
+        np.testing.assert_array_equal(result.num_labeled(), [10, 20, 30, 40])
+
+    def test_without_initial_record(self, problem):
+        result = run_active_learning(
+            problem,
+            RandomStrategy(),
+            num_rounds=2,
+            budget_per_round=10,
+            seed=0,
+            record_initial=False,
+        )
+        assert len(result.records) == 2
+
+    def test_accuracy_improves_with_labels(self, problem):
+        result = run_active_learning(
+            problem, RandomStrategy(), num_rounds=3, budget_per_round=10, seed=1
+        )
+        assert result.final_eval_accuracy() > result.records[0].eval_accuracy - 0.05
+        assert result.final_eval_accuracy() > 0.5
+
+    def test_entropy_strategy_runs(self, problem):
+        result = run_active_learning(
+            problem, EntropyStrategy(), num_rounds=2, budget_per_round=10, seed=0
+        )
+        assert result.strategy_name == "entropy"
+        assert np.all(result.eval_accuracy() <= 1.0)
+
+    def test_budget_exceeding_pool_rejected(self, problem):
+        with pytest.raises(ValueError):
+            run_active_learning(
+                problem, RandomStrategy(), num_rounds=100, budget_per_round=1000, seed=0
+            )
+
+    def test_selection_seconds_recorded(self, problem):
+        result = run_active_learning(
+            problem, RandomStrategy(), num_rounds=1, budget_per_round=5, seed=0
+        )
+        assert result.records[-1].selection_seconds >= 0.0
+
+    def test_reproducible_with_same_seed(self, problem):
+        a = run_active_learning(problem, RandomStrategy(), num_rounds=2, budget_per_round=5, seed=3)
+        b = run_active_learning(problem, RandomStrategy(), num_rounds=2, budget_per_round=5, seed=3)
+        np.testing.assert_allclose(a.eval_accuracy(), b.eval_accuracy())
+
+
+class TestRunTrials:
+    def test_aggregates_multiple_trials(self, problem):
+        agg = run_trials(
+            problem,
+            RandomStrategy,
+            num_rounds=2,
+            budget_per_round=10,
+            num_trials=3,
+            seed=0,
+        )
+        assert agg.num_trials == 3
+        assert agg.mean_eval_accuracy().shape == (3,)
+        assert np.all(agg.std_eval_accuracy() >= 0.0)
+
+    def test_single_trial_std_is_zero(self, problem):
+        agg = run_trials(problem, EntropyStrategy, num_rounds=1, budget_per_round=10, num_trials=1)
+        np.testing.assert_array_equal(agg.std_eval_accuracy(), 0.0)
+
+    def test_table_formatting(self, problem):
+        agg = run_trials(problem, RandomStrategy, num_rounds=1, budget_per_round=5, num_trials=2)
+        table = agg.to_table()
+        assert "random" in table
+        assert "labels" in table
+
+
+class TestResultContainers:
+    def _record(self, n, acc):
+        return RoundRecord(n, acc, acc, acc)
+
+    def test_experiment_result_arrays(self):
+        result = ExperimentResult("s", "d", [self._record(10, 0.5), self._record(20, 0.7)])
+        np.testing.assert_array_equal(result.num_labeled(), [10, 20])
+        np.testing.assert_allclose(result.eval_accuracy(), [0.5, 0.7])
+        assert result.final_eval_accuracy() == pytest.approx(0.7)
+        assert "0.7000" in result.to_table()
+
+    def test_empty_experiment_final_accuracy_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentResult("s", "d").final_eval_accuracy()
+
+    def test_aggregate_requires_consistent_trials(self):
+        a = ExperimentResult("s", "d", [self._record(10, 0.5)])
+        b = ExperimentResult("s", "d", [self._record(10, 0.6), self._record(20, 0.7)])
+        with pytest.raises(ValueError):
+            AggregateResult("s", "d", [a, b])
+
+    def test_aggregate_mean(self):
+        a = ExperimentResult("s", "d", [self._record(10, 0.4)])
+        b = ExperimentResult("s", "d", [self._record(10, 0.6)])
+        agg = AggregateResult("s", "d", [a, b])
+        assert agg.mean_eval_accuracy()[0] == pytest.approx(0.5)
+        assert agg.std_eval_accuracy()[0] > 0.0
+
+    def test_round_record_as_dict(self):
+        record = RoundRecord(10, 0.1, 0.2, 0.3, 1.5)
+        d = record.as_dict()
+        assert d["num_labeled"] == 10.0
+        assert d["selection_seconds"] == 1.5

@@ -1,0 +1,126 @@
+"""Tests for the fast RELAX solver (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RelaxConfig
+from repro.core.approx_relax import approx_relax
+from repro.core.exact_relax import exact_relax
+from tests.conftest import make_fisher_dataset
+
+
+@pytest.fixture
+def dataset():
+    return make_fisher_dataset(seed=5, num_pool=30, num_labeled=8, dimension=4, num_classes=3)
+
+
+class TestApproxRelax:
+    def test_weights_on_scaled_simplex(self, dataset):
+        result = approx_relax(
+            dataset, budget=6, config=RelaxConfig(max_iterations=5, track_objective="none")
+        )
+        assert np.all(result.weights >= 0)
+        assert float(result.weights.sum()) == pytest.approx(6.0, rel=1e-8)
+
+    def test_reproducible_with_seed(self, dataset):
+        cfg = RelaxConfig(max_iterations=4, track_objective="none", seed=7)
+        a = approx_relax(dataset, budget=5, config=cfg)
+        b = approx_relax(dataset, budget=5, config=cfg)
+        np.testing.assert_allclose(a.weights, b.weights, rtol=1e-12)
+
+    def test_different_seeds_differ(self, dataset):
+        a = approx_relax(dataset, 5, RelaxConfig(max_iterations=4, track_objective="none", seed=1))
+        b = approx_relax(dataset, 5, RelaxConfig(max_iterations=4, track_objective="none", seed=2))
+        assert not np.allclose(a.weights, b.weights)
+
+    def test_exact_objective_tracking_decreases(self, dataset):
+        result = approx_relax(
+            dataset,
+            budget=6,
+            config=RelaxConfig(max_iterations=15, track_objective="exact", cg_tolerance=0.01),
+        )
+        assert result.objective_trace[-1] <= result.objective_trace[0] + 1e-9
+
+    def test_cg_iterations_counted(self, dataset):
+        result = approx_relax(
+            dataset, budget=5, config=RelaxConfig(max_iterations=3, track_objective="none")
+        )
+        assert result.cg_iterations > 0
+
+    def test_first_iteration_cg_history_recorded(self, dataset):
+        result = approx_relax(
+            dataset, budget=5, config=RelaxConfig(max_iterations=2, track_objective="none")
+        )
+        assert len(result.first_iteration_cg_history) >= 1
+        assert result.first_iteration_cg_history[-1] <= result.first_iteration_cg_history[0]
+
+    def test_timings_have_cg_and_preconditioner(self, dataset):
+        result = approx_relax(
+            dataset, budget=5, config=RelaxConfig(max_iterations=2, track_objective="none")
+        )
+        assert result.timings.get("cg") > 0
+        assert result.timings.get("setup_preconditioner") > 0
+        assert result.timings.get("gradient") > 0
+
+    def test_close_to_exact_relax_solution(self, dataset):
+        """Fig. 4 of the paper: the approximate RELAX tracks the exact one.
+
+        Compare the relaxed weight vectors after the same number of
+        iterations; with tight CG tolerance and many probes they should be
+        highly correlated (the selection only depends on the ordering of the
+        large weights)."""
+
+        iterations = 10
+        exact = exact_relax(dataset, budget=6, config=RelaxConfig(max_iterations=iterations))
+        approx = approx_relax(
+            dataset,
+            budget=6,
+            config=RelaxConfig(
+                max_iterations=iterations,
+                track_objective="none",
+                num_probes=60,
+                cg_tolerance=1e-4,
+                seed=0,
+            ),
+        )
+        correlation = np.corrcoef(exact.weights, approx.weights)[0, 1]
+        assert correlation > 0.95
+
+    def test_objective_estimate_mode_runs(self, dataset):
+        result = approx_relax(
+            dataset,
+            budget=4,
+            config=RelaxConfig(max_iterations=3, track_objective="estimate"),
+        )
+        assert len(result.objective_trace) >= 1
+
+    def test_invalid_budget_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            approx_relax(dataset, budget=-1)
+
+
+class TestRelaxConfig:
+    def test_invalid_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            RelaxConfig(learning_rate_schedule="linear")
+
+    def test_invalid_track_mode_rejected(self):
+        with pytest.raises(ValueError):
+            RelaxConfig(track_objective="sometimes")
+
+    def test_step_size_sqrt_schedule_decays(self):
+        cfg = RelaxConfig(learning_rate=2.0, learning_rate_schedule="sqrt", normalize_gradient=False)
+        assert cfg.step_size(1, 1.0) == pytest.approx(2.0)
+        assert cfg.step_size(4, 1.0) == pytest.approx(1.0)
+
+    def test_step_size_constant_schedule(self):
+        cfg = RelaxConfig(learning_rate=0.5, learning_rate_schedule="constant", normalize_gradient=False)
+        assert cfg.step_size(10, 1.0) == pytest.approx(0.5)
+
+    def test_step_size_normalizes_by_gradient_scale(self):
+        cfg = RelaxConfig(learning_rate=1.0, learning_rate_schedule="constant", normalize_gradient=True)
+        assert cfg.step_size(1, 4.0) == pytest.approx(0.25)
+
+    def test_step_size_requires_one_based_iteration(self):
+        with pytest.raises(ValueError):
+            RelaxConfig().step_size(0, 1.0)

@@ -1,0 +1,67 @@
+"""Tests for the η grid search (§ IV-A selection rule)."""
+
+import numpy as np
+import pytest
+
+from repro.core.approx_round import approx_round, selected_batch_min_eigenvalue
+from repro.core.config import RoundConfig
+from repro.core.eta_selection import default_eta_grid, select_eta
+from tests.conftest import make_fisher_dataset
+
+
+@pytest.fixture
+def dataset():
+    return make_fisher_dataset(seed=12, num_pool=25, num_labeled=6, dimension=3, num_classes=3)
+
+
+@pytest.fixture
+def z_relaxed(dataset):
+    rng = np.random.default_rng(2)
+    z = rng.uniform(0, 1, size=dataset.num_pool)
+    return 4.0 * z / z.sum()
+
+
+class TestDefaultGrid:
+    def test_contains_theoretical_scale(self):
+        grid = default_eta_grid(100)
+        assert 8.0 * np.sqrt(100) in grid
+
+    def test_all_positive(self):
+        assert all(e > 0 for e in default_eta_grid(36))
+
+    def test_invalid_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            default_eta_grid(0)
+
+
+class TestSelectEta:
+    def test_returns_best_scoring_eta(self, dataset, z_relaxed):
+        grid = (0.1, 1.0, 10.0)
+        result, score = select_eta(
+            approx_round, dataset, z_relaxed, budget=4, eta_grid=grid, config=RoundConfig()
+        )
+        assert result.eta in grid
+        # The reported score must equal the recomputed score of the winner and
+        # be at least as good as every other grid point's score.
+        assert score == pytest.approx(
+            selected_batch_min_eigenvalue(dataset, result.selected_indices)
+        )
+        for eta in grid:
+            other = approx_round(dataset, z_relaxed, 4, eta, RoundConfig())
+            assert score >= selected_batch_min_eigenvalue(dataset, other.selected_indices) - 1e-12
+
+    def test_eta_score_recorded_on_result(self, dataset, z_relaxed):
+        result, score = select_eta(approx_round, dataset, z_relaxed, budget=3, eta_grid=(0.5, 2.0))
+        assert result.eta_score == pytest.approx(score)
+
+    def test_single_candidate_grid(self, dataset, z_relaxed):
+        result, _ = select_eta(approx_round, dataset, z_relaxed, budget=3, eta_grid=(1.5,))
+        assert result.eta == 1.5
+
+    def test_empty_grid_rejected(self, dataset, z_relaxed):
+        with pytest.raises(ValueError):
+            select_eta(approx_round, dataset, z_relaxed, budget=3, eta_grid=())
+
+    def test_negative_eta_rejected(self, dataset, z_relaxed):
+        with pytest.raises(ValueError):
+            select_eta(approx_round, dataset, z_relaxed, budget=3, eta_grid=(-1.0, 1.0))

@@ -1,0 +1,99 @@
+"""Tests for the exact RELAX solver (Algorithm 1, Lines 1-9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RelaxConfig
+from repro.core.exact_relax import exact_relax, exact_relax_gradient
+from repro.fisher.hessian import point_hessian_dense
+from repro.fisher.objective import fisher_ratio_objective
+from tests.conftest import make_fisher_dataset
+
+
+@pytest.fixture
+def dataset():
+    return make_fisher_dataset(seed=3, num_pool=20, num_labeled=6, dimension=3, num_classes=3)
+
+
+class TestExactGradient:
+    def test_matches_definition(self, dataset):
+        """g_i = -Trace(H_i Sigma^{-1} H_p Sigma^{-1}) evaluated naively."""
+
+        rng = np.random.default_rng(0)
+        z = rng.uniform(0.1, 1.0, size=dataset.num_pool)
+        grad = exact_relax_gradient(dataset, z, regularization=1e-8)
+
+        sigma = dataset.sigma_dense(z) + 1e-8 * np.eye(dataset.joint_dimension)
+        sigma_inv = np.linalg.inv(sigma)
+        M = sigma_inv @ dataset.pool_hessian_dense() @ sigma_inv
+        expected = np.array(
+            [
+                -np.trace(point_hessian_dense(dataset.pool_features[i], dataset.pool_probabilities[i]) @ M)
+                for i in range(dataset.num_pool)
+            ]
+        )
+        np.testing.assert_allclose(grad, expected, rtol=1e-6, atol=1e-9)
+
+    def test_gradient_is_negative(self, dataset):
+        """Each H_i and M are PSD so Trace(H_i M) >= 0, hence g_i <= 0."""
+
+        z = np.full(dataset.num_pool, 0.5)
+        grad = exact_relax_gradient(dataset, z, regularization=1e-8)
+        assert np.all(grad <= 1e-10)
+
+    def test_matches_finite_difference_of_objective(self, dataset):
+        z = np.full(dataset.num_pool, 0.5)
+        grad = exact_relax_gradient(dataset, z, regularization=1e-6)
+        eps = 1e-5
+        for i in (0, 5, 13):
+            z_plus = z.copy()
+            z_plus[i] += eps
+            z_minus = z.copy()
+            z_minus[i] -= eps
+            numeric = (
+                fisher_ratio_objective(dataset, z_plus, regularization=1e-6)
+                - fisher_ratio_objective(dataset, z_minus, regularization=1e-6)
+            ) / (2 * eps)
+            assert grad[i] == pytest.approx(numeric, rel=1e-3, abs=1e-6)
+
+
+class TestExactRelax:
+    def test_weights_on_scaled_simplex(self, dataset):
+        result = exact_relax(dataset, budget=5, config=RelaxConfig(max_iterations=5))
+        assert np.all(result.weights >= 0)
+        assert float(result.weights.sum()) == pytest.approx(5.0, rel=1e-8)
+
+    def test_objective_decreases(self, dataset):
+        result = exact_relax(dataset, budget=5, config=RelaxConfig(max_iterations=15))
+        trace = result.objective_trace
+        assert len(trace) >= 2
+        assert trace[-1] <= trace[0] + 1e-9
+
+    def test_convergence_flag_set_with_loose_tolerance(self, dataset):
+        result = exact_relax(
+            dataset, budget=5, config=RelaxConfig(max_iterations=50, objective_tolerance=1e-2)
+        )
+        assert result.converged
+        assert result.iterations < 50
+
+    def test_iteration_cap_respected(self, dataset):
+        result = exact_relax(
+            dataset, budget=3, config=RelaxConfig(max_iterations=2, objective_tolerance=0.0)
+        )
+        assert result.iterations == 2
+
+    def test_concentrates_weight_relative_to_uniform(self, dataset):
+        """Mirror descent moves away from the uniform distribution."""
+
+        result = exact_relax(dataset, budget=5, config=RelaxConfig(max_iterations=20))
+        uniform = 5.0 / dataset.num_pool
+        assert float(np.max(result.weights)) > uniform
+
+    def test_invalid_budget_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            exact_relax(dataset, budget=0)
+
+    def test_timings_recorded(self, dataset):
+        result = exact_relax(dataset, budget=3, config=RelaxConfig(max_iterations=3))
+        assert result.timings.total() > 0
+        assert result.timings.get("gradient") > 0

@@ -1,0 +1,219 @@
+"""Tests for the synthetic dataset generators and the Table V registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.imbalance import balanced_class_counts, imbalanced_class_counts
+from repro.datasets.registry import (
+    PAPER_DATASETS,
+    DatasetSpec,
+    build_problem,
+    get_dataset_spec,
+    list_dataset_names,
+)
+from repro.datasets.synthetic import expand_with_noise, make_gaussian_embeddings
+
+
+class TestClassCounts:
+    def test_balanced_sums_to_total(self):
+        counts = balanced_class_counts(7, 100)
+        assert counts.sum() == 100
+        assert counts.max() - counts.min() <= 1
+
+    def test_balanced_exact_division(self):
+        np.testing.assert_array_equal(balanced_class_counts(4, 20), [5, 5, 5, 5])
+
+    def test_imbalanced_sums_to_total(self):
+        counts = imbalanced_class_counts(10, 3000, max_ratio=10.0)
+        assert counts.sum() == 3000
+
+    def test_imbalanced_respects_ratio_approximately(self):
+        counts = imbalanced_class_counts(10, 3000, max_ratio=10.0)
+        ratio = counts.max() / counts.min()
+        assert 5.0 <= ratio <= 15.0
+
+    def test_imbalanced_ratio_one_is_balanced(self):
+        np.testing.assert_array_equal(
+            imbalanced_class_counts(5, 50, max_ratio=1.0), balanced_class_counts(5, 50)
+        )
+
+    def test_at_least_one_point_per_class(self):
+        counts = imbalanced_class_counts(20, 40, max_ratio=10.0)
+        assert counts.min() >= 1
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            imbalanced_class_counts(3, 30, max_ratio=0.5)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            balanced_class_counts(10, 5)
+
+
+class TestGaussianEmbeddings:
+    def test_sample_shapes_and_labels(self):
+        model = make_gaussian_embeddings(4, 8, seed=0)
+        X, y = model.sample([10, 5, 7, 3], rng=1)
+        assert X.shape == (25, 8)
+        assert y.shape == (25,)
+        np.testing.assert_array_equal(np.bincount(y, minlength=4), [10, 5, 7, 3])
+
+    def test_sample_reproducible(self):
+        model = make_gaussian_embeddings(3, 5, seed=0)
+        X1, y1 = model.sample([4, 4, 4], rng=7)
+        X2, y2 = model.sample([4, 4, 4], rng=7)
+        np.testing.assert_array_equal(X1, X2)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_classes_are_separated(self):
+        """With separation >> noise a nearest-mean classifier is near perfect —
+        the regime of good self-supervised embeddings the paper assumes."""
+
+        model = make_gaussian_embeddings(5, 10, separation=8.0, noise_scale=1.0, seed=0)
+        X, y = model.sample([50] * 5, rng=0)
+        distances = np.linalg.norm(X[:, None, :] - model.class_means[None], axis=2)
+        predicted = np.argmin(distances, axis=1)
+        assert np.mean(predicted == y) > 0.95
+
+    def test_orthogonal_means_when_classes_fit_dimension(self):
+        model = make_gaussian_embeddings(4, 10, separation=3.0, seed=0)
+        gram = model.class_means @ model.class_means.T
+        off_diag = gram - np.diag(np.diag(gram))
+        assert np.abs(off_diag).max() < 1e-6
+
+    def test_more_classes_than_dimensions_supported(self):
+        model = make_gaussian_embeddings(12, 4, seed=0)
+        assert model.class_means.shape == (12, 4)
+
+    def test_zero_count_class_allowed(self):
+        model = make_gaussian_embeddings(3, 4, seed=0)
+        X, y = model.sample([5, 0, 5], rng=0)
+        assert 1 not in y
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            make_gaussian_embeddings(1, 4)
+        with pytest.raises(ValueError):
+            make_gaussian_embeddings(3, 4, separation=-1.0)
+
+
+class TestExpandWithNoise:
+    def test_expands_to_target_size(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((20, 4)).astype(np.float32)
+        y = rng.integers(0, 3, size=20)
+        X2, y2 = expand_with_noise(X, y, 75, seed=0)
+        assert X2.shape == (75, 4)
+        assert y2.shape == (75,)
+
+    def test_original_points_preserved(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((10, 3)).astype(np.float32)
+        y = rng.integers(0, 2, size=10)
+        X2, y2 = expand_with_noise(X, y, 30, seed=0)
+        np.testing.assert_allclose(X2[:10], X, rtol=1e-6)
+        np.testing.assert_array_equal(y2[:10], y)
+
+    def test_same_size_is_copy(self):
+        rng = np.random.default_rng(2)
+        X = rng.standard_normal((5, 2)).astype(np.float32)
+        y = rng.integers(0, 2, size=5)
+        X2, y2 = expand_with_noise(X, y, 5)
+        np.testing.assert_array_equal(X2, X)
+
+    def test_shrinking_rejected(self):
+        rng = np.random.default_rng(3)
+        X = rng.standard_normal((5, 2)).astype(np.float32)
+        with pytest.raises(ValueError):
+            expand_with_noise(X, np.zeros(5, dtype=np.int64), 3)
+
+
+class TestRegistry:
+    def test_all_seven_table_v_datasets_registered(self):
+        assert len(PAPER_DATASETS) == 7
+        assert set(list_dataset_names()) == {
+            "mnist",
+            "cifar10",
+            "imb-cifar10",
+            "imagenet-50",
+            "imb-imagenet-50",
+            "caltech-101",
+            "imagenet-1k",
+        }
+
+    def test_table_v_parameters(self):
+        spec = get_dataset_spec("imagenet-1k")
+        assert spec.num_classes == 1000
+        assert spec.dimension == 383
+        assert spec.pool_size == 50_000
+        assert spec.rounds == 5
+        assert spec.budget_per_round == 200
+
+        caltech = get_dataset_spec("caltech-101")
+        assert caltech.num_classes == 101
+        assert caltech.dimension == 100
+        assert caltech.imbalance_ratio == 10.0
+
+    def test_lookup_case_insensitive(self):
+        assert get_dataset_spec("MNIST").name == "mnist"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_dataset_spec("svhn")
+
+    def test_scaled_spec_preserves_structure(self):
+        spec = get_dataset_spec("cifar10").scaled(0.1)
+        assert spec.num_classes == 10
+        assert spec.dimension == 20
+        assert spec.pool_size == 300
+        assert spec.rounds == 3
+
+    def test_scaled_spec_keeps_experiment_feasible(self):
+        spec = get_dataset_spec("caltech-101").scaled(0.001)
+        assert spec.pool_size >= spec.rounds * spec.budget_per_round
+
+    def test_build_problem_shapes(self):
+        problem = build_problem("cifar10", scale=0.02, seed=0)
+        assert problem.num_classes == 10
+        assert problem.dimension == 20
+        assert problem.initial_features.shape[0] == 10  # one per class
+        assert problem.pool_size >= 60
+        assert problem.name == "cifar10"
+
+    def test_build_problem_imbalanced_pool(self):
+        problem = build_problem("imb-cifar10", scale=0.2, seed=0)
+        counts = np.bincount(problem.pool_labels, minlength=10)
+        assert counts.max() / counts.min() > 3.0
+
+    def test_build_problem_balanced_pool(self):
+        problem = build_problem("cifar10", scale=0.2, seed=0)
+        counts = np.bincount(problem.pool_labels, minlength=10)
+        assert counts.max() - counts.min() <= 1
+
+    def test_build_problem_reproducible(self):
+        a = build_problem("mnist", scale=0.02, seed=5)
+        b = build_problem("mnist", scale=0.02, seed=5)
+        np.testing.assert_array_equal(a.pool_features, b.pool_features)
+        np.testing.assert_array_equal(a.pool_labels, b.pool_labels)
+
+    def test_build_problem_accepts_spec_object(self):
+        spec = DatasetSpec("tiny", 3, 5, 1, 60, 2, 5, 30)
+        problem = build_problem(spec, seed=0)
+        assert problem.num_classes == 3
+        assert problem.pool_size == 60
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    c=st.integers(min_value=2, max_value=30),
+    total_multiplier=st.integers(min_value=2, max_value=50),
+    ratio=st.floats(min_value=1.0, max_value=20.0),
+)
+def test_property_imbalanced_counts_valid(c, total_multiplier, ratio):
+    total = c * total_multiplier
+    counts = imbalanced_class_counts(c, total, max_ratio=ratio)
+    assert counts.sum() == total
+    assert counts.min() >= 1
+    assert counts.shape == (c,)

@@ -1,0 +1,92 @@
+"""Tests for the FTRL ν bisection solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.bisection import bisect_scalar, find_ftrl_nu
+
+
+class TestBisectScalar:
+    def test_finds_root_of_linear_function(self):
+        root = bisect_scalar(lambda x: 3.0 - x, 0.0, 10.0)
+        assert root == pytest.approx(3.0, abs=1e-8)
+
+    def test_finds_root_of_decreasing_nonlinear_function(self):
+        root = bisect_scalar(lambda x: 1.0 / (x + 1.0) ** 2 - 0.25, 0.0, 10.0)
+        assert root == pytest.approx(1.0, abs=1e-7)
+
+    def test_invalid_bracket_rejected(self):
+        with pytest.raises(ValueError):
+            bisect_scalar(lambda x: x, 0.0, 1.0)  # increasing: fn(lower) < 0
+
+    def test_upper_not_above_lower_rejected(self):
+        with pytest.raises(ValueError):
+            bisect_scalar(lambda x: -x, 2.0, 1.0)
+
+
+class TestFindFtrlNu:
+    def test_zero_eigenvalues_give_sqrt_m(self):
+        """With H = 0 the equation sum (nu)^{-2} = m/nu^2 = 1 gives nu = sqrt(m),
+        matching the paper's initialization A_1 = sqrt(dc) I."""
+
+        for m in (1, 4, 9, 36):
+            nu = find_ftrl_nu(np.zeros(m))
+            assert nu == pytest.approx(np.sqrt(m), rel=1e-8)
+
+    def test_solution_satisfies_equation(self):
+        rng = np.random.default_rng(0)
+        lam = rng.uniform(0.0, 5.0, size=24)
+        nu = find_ftrl_nu(lam)
+        assert float(np.sum(1.0 / (nu + lam) ** 2)) == pytest.approx(1.0, abs=1e-8)
+
+    def test_large_eigenvalues_give_negative_shift(self):
+        """When all eigenvalues are huge, the root can be below zero but the
+        shifted values stay positive."""
+
+        lam = np.full(10, 100.0)
+        nu = find_ftrl_nu(lam)
+        assert float(np.sum(1.0 / (nu + lam) ** 2)) == pytest.approx(1.0, abs=1e-8)
+        assert np.all(nu + lam > 0)
+
+    def test_matrix_shaped_input_is_flattened(self):
+        lam = np.ones((3, 4))
+        nu = find_ftrl_nu(lam)
+        assert float(np.sum(1.0 / (nu + lam) ** 2)) == pytest.approx(1.0, abs=1e-8)
+
+    def test_negative_eigenvalues_rejected(self):
+        with pytest.raises(ValueError):
+            find_ftrl_nu(np.array([-1.0, 2.0]))
+
+    def test_tiny_negative_roundoff_tolerated(self):
+        nu = find_ftrl_nu(np.array([-1e-12, 1.0, 2.0]))
+        assert np.isfinite(nu)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            find_ftrl_nu(np.array([]))
+
+    def test_trace_normalization_of_ftrl_matrix(self):
+        """Building A_{t+1} = V (nu I + Lambda) V^T indeed gives Trace(A^{-2}) = 1."""
+
+        rng = np.random.default_rng(1)
+        M = rng.standard_normal((12, 12))
+        M = M @ M.T
+        lam, V = np.linalg.eigh(M)
+        nu = find_ftrl_nu(lam)
+        A = (V * (nu + lam)) @ V.T
+        assert float(np.trace(np.linalg.inv(A @ A))) == pytest.approx(1.0, abs=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    size=st.integers(min_value=1, max_value=60),
+    scale=st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_nu_satisfies_equation(size, scale, seed):
+    rng = np.random.default_rng(seed)
+    lam = rng.uniform(0.0, scale + 1e-6, size=size)
+    nu = find_ftrl_nu(lam)
+    assert float(np.sum(1.0 / (nu + lam) ** 2)) == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,91 @@
+"""Tests for the Hutchinson trace estimator (Eq. 12)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.hutchinson import hutchinson_diagonal, hutchinson_trace
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+def test_exact_for_diagonal_matrix_with_rademacher(rng):
+    """For diagonal M, v^T M v = sum_i M_ii v_i^2 = trace exactly (v_i = ±1)."""
+
+    diag = rng.standard_normal(30)
+    estimate = hutchinson_trace(lambda V: diag[:, None] * V, 30, num_probes=1, rng=0)
+    assert estimate == pytest.approx(float(diag.sum()), rel=1e-10)
+
+
+def test_unbiasedness_on_dense_matrix(rng):
+    A = rng.standard_normal((40, 40))
+    A = A @ A.T
+    exact = float(np.trace(A))
+    estimate = hutchinson_trace(lambda V: A @ V, 40, num_probes=4000, rng=1)
+    assert estimate == pytest.approx(exact, rel=0.05)
+
+
+def test_more_probes_reduce_error_on_average(rng):
+    A = rng.standard_normal((30, 30))
+    A = A @ A.T
+    exact = float(np.trace(A))
+    errors_few, errors_many = [], []
+    for seed in range(10):
+        few = hutchinson_trace(lambda V: A @ V, 30, num_probes=5, rng=seed)
+        many = hutchinson_trace(lambda V: A @ V, 30, num_probes=500, rng=seed)
+        errors_few.append(abs(few - exact))
+        errors_many.append(abs(many - exact))
+    assert np.mean(errors_many) < np.mean(errors_few)
+
+
+def test_supplied_probes_are_used(rng):
+    A = np.diag(np.arange(1.0, 6.0))
+    probes = np.ones((5, 3))
+    estimate = hutchinson_trace(lambda V: A @ V, 5, num_probes=3, probes=probes)
+    assert estimate == pytest.approx(15.0)
+
+
+def test_return_std(rng):
+    A = rng.standard_normal((20, 20))
+    A = A @ A.T
+    estimate, std = hutchinson_trace(lambda V: A @ V, 20, num_probes=50, rng=0, return_std=True)
+    assert std >= 0.0
+    assert np.isfinite(estimate)
+
+
+def test_single_probe_std_is_zero(rng):
+    A = np.eye(4)
+    _, std = hutchinson_trace(lambda V: A @ V, 4, num_probes=1, rng=0, return_std=True)
+    assert std == 0.0
+
+
+def test_invalid_probe_shape_rejected():
+    with pytest.raises(ValueError):
+        hutchinson_trace(lambda V: V, 5, num_probes=3, probes=np.ones((5, 4)))
+
+
+def test_invalid_dim_rejected():
+    with pytest.raises(ValueError):
+        hutchinson_trace(lambda V: V, 0, num_probes=3)
+
+
+def test_matvec_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        hutchinson_trace(lambda V: V[:-1], 5, num_probes=2, rng=0)
+
+
+def test_diagonal_estimator_recovers_diagonal(rng):
+    diag = rng.uniform(1.0, 5.0, size=25)
+    A = np.diag(diag)
+    estimate = hutchinson_diagonal(lambda V: A @ V, 25, num_probes=2000, rng=3)
+    np.testing.assert_allclose(estimate, diag, rtol=0.2)
+
+
+def test_diagonal_estimator_exact_for_diagonal_matrix_single_probe(rng):
+    """For a diagonal matrix, v ⊙ (Mv) = diag(M) ⊙ v^2 = diag(M) exactly."""
+
+    diag = rng.standard_normal(10)
+    estimate = hutchinson_diagonal(lambda V: diag[:, None] * V, 10, num_probes=1, rng=0)
+    np.testing.assert_allclose(estimate, diag, rtol=1e-12)

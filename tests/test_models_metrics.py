@@ -1,0 +1,79 @@
+"""Tests for the classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.models.metrics import (
+    accuracy,
+    class_balanced_accuracy,
+    confusion_matrix,
+    per_class_accuracy,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_all_wrong(self):
+        assert accuracy([0, 1, 2], [1, 2, 0]) == 0.0
+
+    def test_half(self):
+        assert accuracy([0, 1, 1, 0], [0, 1, 0, 1]) == pytest.approx(0.5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy([0, 1], [0, 1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        cm = confusion_matrix([0, 0, 1, 1, 2], [0, 1, 1, 1, 0], num_classes=3)
+        expected = np.array([[1, 1, 0], [0, 2, 0], [1, 0, 0]])
+        np.testing.assert_array_equal(cm, expected)
+
+    def test_total_equals_num_samples(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 4, size=50)
+        y_pred = rng.integers(0, 4, size=50)
+        cm = confusion_matrix(y_true, y_pred, num_classes=4)
+        assert cm.sum() == 50
+
+    def test_diagonal_counts_correct_predictions(self):
+        y = np.array([0, 1, 2, 2, 1])
+        cm = confusion_matrix(y, y, num_classes=3)
+        np.testing.assert_array_equal(np.diag(cm), [1, 2, 2])
+
+
+class TestPerClassAndBalanced:
+    def test_per_class_accuracy_values(self):
+        y_true = np.array([0, 0, 1, 1, 1, 2])
+        y_pred = np.array([0, 1, 1, 1, 0, 2])
+        acc = per_class_accuracy(y_true, y_pred, num_classes=3)
+        np.testing.assert_allclose(acc, [0.5, 2 / 3, 1.0])
+
+    def test_absent_class_is_nan(self):
+        acc = per_class_accuracy(np.array([0, 0]), np.array([0, 1]), num_classes=3)
+        assert np.isnan(acc[1]) and np.isnan(acc[2])
+
+    def test_balanced_accuracy_weights_classes_equally(self):
+        """A majority-class predictor looks good on plain accuracy but poor on
+        the class-balanced metric, which is exactly why Fig. 3(B) reports it
+        for the imbalanced Caltech-101 experiment."""
+
+        y_true = np.array([0] * 90 + [1] * 10)
+        y_pred = np.zeros(100, dtype=np.int64)
+        assert accuracy(y_true, y_pred) == pytest.approx(0.9)
+        assert class_balanced_accuracy(y_true, y_pred, num_classes=2) == pytest.approx(0.5)
+
+    def test_balanced_equals_plain_for_balanced_perfect(self):
+        y = np.array([0, 1, 2, 0, 1, 2])
+        assert class_balanced_accuracy(y, y, num_classes=3) == 1.0
+
+    def test_balanced_requires_some_class_present(self):
+        with pytest.raises(ValueError):
+            class_balanced_accuracy(np.array([], dtype=np.int64), np.array([], dtype=np.int64), 3)

@@ -1,0 +1,121 @@
+"""Tests for the softmax primitives and the NLL loss/gradient."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.softmax import (
+    log_softmax,
+    negative_log_likelihood,
+    nll_and_gradient,
+    softmax,
+    softmax_probabilities,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        probs = softmax(rng.standard_normal((20, 6)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-12)
+
+    def test_probabilities_nonnegative(self, rng):
+        assert np.all(softmax(rng.standard_normal((10, 4))) >= 0)
+
+    def test_large_logits_are_stable(self):
+        probs = softmax(np.array([[1000.0, 0.0, -1000.0]]))
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_shift_invariance(self, rng):
+        logits = rng.standard_normal((5, 3))
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 7.0), rtol=1e-10)
+
+    def test_log_softmax_consistency(self, rng):
+        logits = rng.standard_normal((5, 3))
+        np.testing.assert_allclose(np.exp(log_softmax(logits)), softmax(logits), rtol=1e-12)
+
+    def test_softmax_probabilities_shapes(self, rng):
+        X = rng.standard_normal((7, 4))
+        theta = rng.standard_normal((4, 3))
+        probs = softmax_probabilities(X, theta)
+        assert probs.shape == (7, 3)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-10)
+
+    def test_softmax_probabilities_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            softmax_probabilities(rng.standard_normal((7, 4)), rng.standard_normal((5, 3)))
+
+
+class TestNLL:
+    def test_uniform_prediction_loss_is_log_c(self, rng):
+        X = rng.standard_normal((10, 4))
+        y = rng.integers(0, 3, size=10)
+        theta = np.zeros((4, 3))
+        loss = negative_log_likelihood(theta, X, y)
+        assert loss == pytest.approx(np.log(3.0), rel=1e-10)
+
+    def test_gradient_matches_finite_differences(self, rng):
+        X = rng.standard_normal((12, 3))
+        y = rng.integers(0, 4, size=12)
+        theta = rng.standard_normal((3, 4)) * 0.1
+        loss, grad = nll_and_gradient(theta, X, y, l2_regularization=0.3)
+
+        eps = 1e-6
+        numeric = np.zeros_like(theta)
+        for i in range(theta.shape[0]):
+            for j in range(theta.shape[1]):
+                plus = theta.copy()
+                plus[i, j] += eps
+                minus = theta.copy()
+                minus[i, j] -= eps
+                numeric[i, j] = (
+                    negative_log_likelihood(plus, X, y, l2_regularization=0.3)
+                    - negative_log_likelihood(minus, X, y, l2_regularization=0.3)
+                ) / (2 * eps)
+        np.testing.assert_allclose(grad, numeric, rtol=1e-4, atol=1e-6)
+
+    def test_sample_weights_change_loss(self, rng):
+        X = rng.standard_normal((8, 3))
+        y = rng.integers(0, 2, size=8)
+        theta = rng.standard_normal((3, 2))
+        w = np.ones(8)
+        w[0] = 10.0
+        unweighted = negative_log_likelihood(theta, X, y)
+        weighted = negative_log_likelihood(theta, X, y, sample_weight=w)
+        assert unweighted != pytest.approx(weighted)
+
+    def test_zero_weights_rejected(self, rng):
+        X = rng.standard_normal((4, 3))
+        y = rng.integers(0, 2, size=4)
+        with pytest.raises(ValueError):
+            negative_log_likelihood(np.zeros((3, 2)), X, y, sample_weight=np.zeros(4))
+
+    def test_negative_regularization_rejected(self, rng):
+        X = rng.standard_normal((4, 3))
+        y = rng.integers(0, 2, size=4)
+        with pytest.raises(ValueError):
+            negative_log_likelihood(np.zeros((3, 2)), X, y, l2_regularization=-1.0)
+
+    def test_label_out_of_range_rejected(self, rng):
+        X = rng.standard_normal((4, 3))
+        with pytest.raises(ValueError):
+            negative_log_likelihood(np.zeros((3, 2)), X, np.array([0, 1, 2, 0]))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=20),
+    c=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_softmax_is_distribution(n, c, seed):
+    rng = np.random.default_rng(seed)
+    probs = softmax(rng.standard_normal((n, c)) * 10.0)
+    assert np.all(probs >= 0)
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-9)

@@ -1,0 +1,96 @@
+"""Tests for the simulated MPI communicator and its traffic log."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.comm import CommunicationLog, SimulatedComm, create_communicators
+
+
+class TestCommunicationLog:
+    def test_record_accumulates(self):
+        log = CommunicationLog()
+        log.record("allreduce", 100)
+        log.record("allreduce", 50)
+        log.record("bcast", 10)
+        assert log.calls["allreduce"] == 2
+        assert log.bytes_moved["allreduce"] == 150
+        assert log.total_calls() == 3
+        assert log.total_bytes() == 160
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            CommunicationLog().record("bcast", -1)
+
+    def test_merge(self):
+        a = CommunicationLog({"bcast": 1}, {"bcast": 8})
+        b = CommunicationLog({"bcast": 2, "allgather": 1}, {"bcast": 16, "allgather": 4})
+        merged = a.merge(b)
+        assert merged.calls == {"bcast": 3, "allgather": 1}
+        assert merged.bytes_moved == {"bcast": 24, "allgather": 4}
+
+    def test_as_dict(self):
+        log = CommunicationLog()
+        log.record("allgather", 7)
+        assert log.as_dict() == {"calls": {"allgather": 1}, "bytes": {"allgather": 7}}
+
+
+class TestCollectives:
+    def test_allreduce_sum(self):
+        log = CommunicationLog()
+        out = SimulatedComm.allreduce([np.ones(4), 2 * np.ones(4), 3 * np.ones(4)], log)
+        np.testing.assert_array_equal(out, 6 * np.ones(4))
+        assert log.calls["allreduce"] == 1
+        assert log.bytes_moved["allreduce"] == np.ones(4).nbytes
+
+    def test_allreduce_max_and_min(self):
+        log = CommunicationLog()
+        parts = [np.array([1.0, 5.0]), np.array([3.0, 2.0])]
+        np.testing.assert_array_equal(SimulatedComm.allreduce(parts, log, op="max"), [3.0, 5.0])
+        np.testing.assert_array_equal(SimulatedComm.allreduce(parts, log, op="min"), [1.0, 2.0])
+
+    def test_allreduce_unknown_op(self):
+        with pytest.raises(ValueError):
+            SimulatedComm.allreduce([np.ones(2)], CommunicationLog(), op="prod")
+
+    def test_allreduce_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            SimulatedComm.allreduce([np.ones(2), np.ones(3)], CommunicationLog())
+
+    def test_allgather_concatenates_in_rank_order(self):
+        log = CommunicationLog()
+        out = SimulatedComm.allgather([np.array([0, 1]), np.array([2]), np.array([3, 4])], log)
+        np.testing.assert_array_equal(out, [0, 1, 2, 3, 4])
+        assert log.calls["allgather"] == 1
+
+    def test_bcast_returns_value_and_logs(self):
+        log = CommunicationLog()
+        value = np.arange(6, dtype=np.float32)
+        out = SimulatedComm.bcast(value, log)
+        np.testing.assert_array_equal(out, value)
+        assert log.bytes_moved["bcast"] == value.nbytes
+
+    def test_argmax_allreduce_picks_global_winner(self):
+        log = CommunicationLog()
+        owner, index, value = SimulatedComm.argmax_allreduce(
+            [1.0, 7.0, 3.0], [10, 20, 30], log
+        )
+        assert owner == 1
+        assert index == 20
+        assert value == 7.0
+
+    def test_argmax_allreduce_length_mismatch(self):
+        with pytest.raises(ValueError):
+            SimulatedComm.argmax_allreduce([1.0], [1, 2], CommunicationLog())
+
+
+class TestCommunicatorHandles:
+    def test_create_communicators_shares_log(self):
+        comms = create_communicators(3)
+        assert len(comms) == 3
+        assert all(c.size == 3 for c in comms)
+        assert comms[0].log is comms[1].log is comms[2].log
+        assert [c.rank for c in comms] == [0, 1, 2]
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            create_communicators(0)

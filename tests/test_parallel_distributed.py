@@ -1,0 +1,146 @@
+"""Tests that the distributed solvers agree with the serial ones.
+
+The central correctness claim of the parallel substrate: running Algorithm 2
+or Algorithm 3 over p simulated ranks produces the same results as the serial
+implementation (up to floating-point reduction order), for any rank count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.approx_relax import approx_relax
+from repro.core.approx_round import approx_round
+from repro.core.config import RelaxConfig, RoundConfig
+from repro.parallel.cluster import ScalingMeasurement, SimulatedCluster
+from repro.parallel.distributed_relax import distributed_relax
+from repro.parallel.distributed_round import distributed_round
+from tests.conftest import make_fisher_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_fisher_dataset(seed=30, num_pool=36, num_labeled=8, dimension=4, num_classes=3)
+
+
+@pytest.fixture(scope="module")
+def z_relaxed(dataset):
+    rng = np.random.default_rng(0)
+    z = rng.uniform(0, 1, size=dataset.num_pool)
+    return 6.0 * z / z.sum()
+
+
+def relax_config(iterations=3):
+    return RelaxConfig(max_iterations=iterations, track_objective="none", seed=11)
+
+
+class TestDistributedRelax:
+    @pytest.mark.parametrize("num_ranks", [1, 2, 3, 5])
+    def test_matches_serial(self, dataset, num_ranks):
+        serial = approx_relax(dataset, budget=6, config=relax_config())
+        distributed = distributed_relax(dataset, 6, num_ranks=num_ranks, config=relax_config())
+        np.testing.assert_allclose(distributed.weights, serial.weights, rtol=1e-2, atol=1e-4)
+        assert distributed.num_ranks == num_ranks
+
+    def test_single_rank_is_numerically_identical(self, dataset):
+        serial = approx_relax(dataset, budget=6, config=relax_config())
+        distributed = distributed_relax(dataset, 6, num_ranks=1, config=relax_config())
+        np.testing.assert_allclose(distributed.weights, serial.weights, rtol=1e-6, atol=1e-9)
+
+    def test_weights_on_scaled_simplex(self, dataset):
+        result = distributed_relax(dataset, 6, num_ranks=4, config=relax_config())
+        assert np.all(result.weights >= 0)
+        assert float(result.weights.sum()) == pytest.approx(6.0, rel=1e-6)
+
+    def test_per_rank_timings_and_comm_log_populated(self, dataset):
+        result = distributed_relax(dataset, 6, num_ranks=3, config=relax_config(iterations=1))
+        assert "cg" in result.per_rank_seconds
+        assert result.per_rank_seconds["cg"].shape == (3,)
+        assert result.comm_log.calls["allreduce"] > 0
+        assert result.comm_log.calls["bcast"] >= 1
+        assert result.compute_seconds() > 0
+
+    def test_objective_tracking_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            distributed_relax(
+                dataset, 6, num_ranks=2, config=RelaxConfig(track_objective="exact")
+            )
+
+
+class TestDistributedRound:
+    @pytest.mark.parametrize("num_ranks", [1, 2, 3, 6])
+    def test_selects_same_points_as_serial(self, dataset, z_relaxed, num_ranks):
+        serial = approx_round(dataset, z_relaxed, budget=5, eta=1.0)
+        distributed = distributed_round(dataset, z_relaxed, 5, 1.0, num_ranks=num_ranks)
+        np.testing.assert_array_equal(distributed.selected_indices, serial.selected_indices)
+
+    def test_comm_pattern_matches_paper(self, dataset, z_relaxed):
+        """Per iteration: one argmax allreduce, bcasts of (x, h), one allgather
+        of the eigenvalues — plus the single Sigma_* assembly allreduce."""
+
+        budget = 4
+        result = distributed_round(dataset, z_relaxed, budget, 1.0, num_ranks=3)
+        calls = result.comm_log.calls
+        assert calls["allgather"] == budget
+        assert calls["allreduce"] == budget + 1
+        assert calls["bcast"] == 2 * budget
+
+    def test_per_rank_timings_populated(self, dataset, z_relaxed):
+        result = distributed_round(dataset, z_relaxed, 3, 1.0, num_ranks=2)
+        assert result.per_rank_seconds["objective_function"].shape == (2,)
+        assert result.compute_seconds() > 0
+
+    def test_invalid_inputs_rejected(self, dataset, z_relaxed):
+        with pytest.raises(ValueError):
+            distributed_round(dataset, z_relaxed, 0, 1.0, num_ranks=2)
+        with pytest.raises(ValueError):
+            distributed_round(dataset, np.ones(3), 2, 1.0, num_ranks=2)
+
+
+class TestSimulatedCluster:
+    def test_relax_measurement_components(self, dataset):
+        cluster = SimulatedCluster()
+        measurement = cluster.measure_relax_step(dataset, budget=6, num_ranks=3)
+        assert measurement.step == "relax"
+        assert measurement.num_ranks == 3
+        assert "cg" in measurement.measured_compute
+        assert measurement.modeled_communication > 0
+        assert measurement.theoretical["total"] > 0
+        assert measurement.measured_total() > 0
+        assert "p=3" in measurement.row()
+
+    def test_round_measurement_components(self, dataset, z_relaxed):
+        cluster = SimulatedCluster()
+        measurement = cluster.measure_round_step(
+            dataset, z_relaxed, eta=1.0, num_ranks=2, budget=2
+        )
+        assert measurement.step == "round"
+        assert "objective_function" in measurement.measured_compute
+        assert measurement.theoretical_total() > 0
+
+    def test_strong_scaling_returns_one_measurement_per_rank_count(self, dataset):
+        cluster = SimulatedCluster()
+        measurements = cluster.strong_scaling(
+            lambda: dataset, [1, 2, 4], step="round", budget=1, eta=1.0
+        )
+        assert [m.num_ranks for m in measurements] == [1, 2, 4]
+        assert all(m.num_points == dataset.num_pool for m in measurements)
+
+    def test_weak_scaling_grows_problem(self):
+        cluster = SimulatedCluster()
+
+        def factory(total):
+            return make_fisher_dataset(seed=1, num_pool=total, num_labeled=6, dimension=4, num_classes=3)
+
+        measurements = cluster.weak_scaling(
+            factory, [1, 2], step="round", points_per_rank=12, budget=1, eta=1.0
+        )
+        assert measurements[0].num_points == 12
+        assert measurements[1].num_points == 24
+
+    def test_invalid_step_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            SimulatedCluster().strong_scaling(lambda: dataset, [1], step="foo")
+
+    def test_scaling_measurement_defaults(self):
+        m = ScalingMeasurement(step="relax", num_ranks=1, num_points=10)
+        assert m.measured_total() == 0.0

@@ -1,0 +1,78 @@
+"""Tests for data partitioning across ranks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.partition import block_partition, partition_indices, partition_pool
+from tests.conftest import make_fisher_dataset
+
+
+class TestBlockPartition:
+    def test_covers_range_without_overlap(self):
+        slices = block_partition(10, 3)
+        indices = np.concatenate([np.arange(s.start, s.stop) for s in slices])
+        np.testing.assert_array_equal(indices, np.arange(10))
+
+    def test_sizes_differ_by_at_most_one(self):
+        slices = block_partition(11, 4)
+        sizes = [s.stop - s.start for s in slices]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_parts_than_items_gives_empty_slices(self):
+        slices = block_partition(2, 5)
+        sizes = [s.stop - s.start for s in slices]
+        assert sum(sizes) == 2
+        assert sizes.count(0) == 3
+
+    def test_single_part(self):
+        assert block_partition(7, 1) == [slice(0, 7)]
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            block_partition(-1, 2)
+        with pytest.raises(ValueError):
+            block_partition(5, 0)
+
+
+class TestPartitionIndices:
+    def test_matches_block_partition(self):
+        parts = partition_indices(9, 2)
+        np.testing.assert_array_equal(parts[0], np.arange(5))
+        np.testing.assert_array_equal(parts[1], np.arange(5, 9))
+
+
+class TestPartitionPool:
+    def test_shards_cover_pool_in_order(self):
+        dataset = make_fisher_dataset(seed=0, num_pool=23)
+        shards = partition_pool(dataset, 4)
+        assert sum(s.num_pool for s in shards) == 23
+        reassembled = np.concatenate([s.pool_features for s in shards])
+        np.testing.assert_array_equal(reassembled, dataset.pool_features)
+
+    def test_labeled_set_replicated(self):
+        dataset = make_fisher_dataset(seed=1, num_pool=12)
+        shards = partition_pool(dataset, 3)
+        for shard in shards:
+            np.testing.assert_array_equal(shard.labeled_features, dataset.labeled_features)
+
+    def test_too_many_ranks_rejected(self):
+        dataset = make_fisher_dataset(seed=2, num_pool=5)
+        with pytest.raises(ValueError):
+            partition_pool(dataset, 6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    total=st.integers(min_value=0, max_value=200),
+    parts=st.integers(min_value=1, max_value=16),
+)
+def test_property_block_partition_is_a_partition(total, parts):
+    slices = block_partition(total, parts)
+    assert len(slices) == parts
+    covered = []
+    for s in slices:
+        assert 0 <= s.start <= s.stop <= total
+        covered.extend(range(s.start, s.stop))
+    assert covered == list(range(total))

@@ -1,0 +1,178 @@
+"""Tests for the analytic performance model (Tables II-IV, Figs. 5-7 theory)."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.collectives import allgather_time, allreduce_time, bcast_time, communication_time
+from repro.perfmodel.complexity import (
+    approx_firal_complexity,
+    exact_firal_complexity,
+    matvec_complexity,
+    speedup_summary,
+)
+from repro.perfmodel.machine import A100_MACHINE, MachineSpec
+from repro.perfmodel.relax_model import relax_step_model
+from repro.perfmodel.round_model import round_step_model
+
+
+class TestMachineSpec:
+    def test_paper_parameters(self):
+        assert A100_MACHINE.peak_flops == pytest.approx(19.5e12)
+        assert A100_MACHINE.latency_seconds == pytest.approx(1e-4)
+        assert A100_MACHINE.seconds_per_byte == pytest.approx(5e-11)
+        assert A100_MACHINE.reduction_seconds_per_byte == pytest.approx(1e-10)
+        assert A100_MACHINE.bytes_per_element == 4
+
+    def test_compute_seconds(self):
+        assert A100_MACHINE.compute_seconds(19.5e12) == pytest.approx(1.0)
+
+    def test_efficiency_scales_time(self):
+        machine = MachineSpec(efficiency=0.5)
+        assert machine.compute_seconds(19.5e12) == pytest.approx(2.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MachineSpec(peak_flops=-1)
+        with pytest.raises(ValueError):
+            MachineSpec(efficiency=0.0)
+
+    def test_message_bytes(self):
+        assert A100_MACHINE.message_bytes(10) == 40
+
+
+class TestCollectiveModels:
+    def test_single_rank_is_free(self):
+        assert allreduce_time(A100_MACHINE, 1e6, 1) == 0.0
+        assert allgather_time(A100_MACHINE, 1e6, 1) == 0.0
+        assert bcast_time(A100_MACHINE, 1e6, 1) == 0.0
+
+    def test_allreduce_formula(self):
+        expected = np.log2(4) * (1e-4 + 1000 * (5e-11 + 1e-10))
+        assert allreduce_time(A100_MACHINE, 1000, 4) == pytest.approx(expected)
+
+    def test_allgather_formula(self):
+        expected = np.log2(8) * 1e-4 + (7 / 8) * 1000 * 5e-11
+        assert allgather_time(A100_MACHINE, 1000, 8) == pytest.approx(expected)
+
+    def test_bcast_formula(self):
+        expected = np.log2(2) * (1e-4 + 500 * 5e-11)
+        assert bcast_time(A100_MACHINE, 500, 2) == pytest.approx(expected)
+
+    def test_monotone_in_message_size(self):
+        small = allreduce_time(A100_MACHINE, 1e3, 4)
+        large = allreduce_time(A100_MACHINE, 1e6, 4)
+        assert large > small
+
+    def test_monotone_in_ranks(self):
+        assert allreduce_time(A100_MACHINE, 1e6, 8) > allreduce_time(A100_MACHINE, 1e6, 2)
+
+    def test_negative_message_rejected(self):
+        with pytest.raises(ValueError):
+            allreduce_time(A100_MACHINE, -1, 2)
+
+    def test_communication_time_from_traffic_dict(self):
+        traffic = {"calls": {"allreduce": 2, "bcast": 1}, "bytes": {"allreduce": 2000, "bcast": 100}}
+        total = communication_time(A100_MACHINE, traffic, 4)
+        expected = (
+            2 * np.log2(4) * 1e-4
+            + np.log2(4) * 2000 * (5e-11 + 1e-10)
+            + np.log2(4) * 1e-4
+            + np.log2(4) * 100 * 5e-11
+        )
+        assert total == pytest.approx(expected)
+
+    def test_communication_time_single_rank_zero(self):
+        traffic = {"calls": {"allreduce": 5}, "bytes": {"allreduce": 100}}
+        assert communication_time(A100_MACHINE, traffic, 1) == 0.0
+
+    def test_communication_time_unknown_collective(self):
+        with pytest.raises(ValueError):
+            communication_time(A100_MACHINE, {"calls": {"alltoall": 1}, "bytes": {"alltoall": 1}}, 2)
+
+
+class TestComplexityTables:
+    def test_exact_storage_formula(self):
+        est = exact_firal_complexity(n=1000, d=20, c=10, b=10)
+        assert est["relax"].storage_elements == 10**2 * 20**2 + 1000 * 10**2 * 20
+
+    def test_approx_storage_smaller_for_large_c(self):
+        """Table II's headline: Approx-FIRAL storage drops from quadratic to
+        linear in c."""
+
+        n, d, c, b = 50_000, 383, 1000, 200
+        exact = exact_firal_complexity(n, d, c, b)
+        approx = approx_firal_complexity(n, d, c, b)
+        assert approx["relax"].storage_elements < exact["relax"].storage_elements / 100
+
+    def test_round_computation_speedup_grows_with_c(self):
+        small = speedup_summary(n=5000, d=50, c=10, b=50)
+        large = speedup_summary(n=5000, d=50, c=500, b=50)
+        assert large["round_computation"] > small["round_computation"]
+
+    def test_matvec_table(self):
+        table = matvec_complexity(d=383, c=1000)
+        assert table["direct"].storage_elements == 383**2 * 1000**2
+        assert table["fast"].storage_elements == 383 * 1000
+        assert table["fast"].computation_flops < table["direct"].computation_flops
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            exact_firal_complexity(0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            approx_firal_complexity(1, 1, 1, 1, num_probes=0)
+
+
+class TestStepModels:
+    def test_relax_components_present_and_positive(self):
+        times = relax_step_model(
+            A100_MACHINE, num_points=100_000, dimension=383, num_classes=1000, num_ranks=3
+        )
+        for key in ("setup_preconditioner", "cg", "gradient", "communication", "total"):
+            assert times[key] > 0
+
+    def test_relax_compute_scales_down_with_ranks(self):
+        one = relax_step_model(A100_MACHINE, num_points=1_000_000, dimension=383, num_classes=100, num_ranks=1)
+        twelve = relax_step_model(A100_MACHINE, num_points=1_000_000, dimension=383, num_classes=100, num_ranks=12)
+        assert twelve["cg"] < one["cg"]
+        assert twelve["communication"] > one["communication"]
+
+    def test_relax_scales_linearly_in_classes(self):
+        """Fig. 5(B): preconditioner and CG cost are linear in c."""
+
+        base = relax_step_model(A100_MACHINE, num_points=1_300_000, dimension=383, num_classes=100)
+        big = relax_step_model(A100_MACHINE, num_points=1_300_000, dimension=383, num_classes=1000)
+        assert big["cg"] / base["cg"] == pytest.approx(10.0, rel=0.05)
+
+    def test_relax_preconditioner_superlinear_in_d(self):
+        """Fig. 5(A): doubling d roughly quadruples (or more) the preconditioner cost."""
+
+        base = relax_step_model(A100_MACHINE, num_points=100_000, dimension=383, num_classes=1000)
+        big = relax_step_model(A100_MACHINE, num_points=100_000, dimension=766, num_classes=1000)
+        ratio = big["setup_preconditioner"] / base["setup_preconditioner"]
+        assert ratio > 3.5
+
+    def test_round_components_present_and_positive(self):
+        times = round_step_model(
+            A100_MACHINE, num_points=1_300_000, dimension=383, num_classes=1000, num_ranks=3
+        )
+        for key in ("objective_function", "compute_eigenvalues", "communication", "total"):
+            assert times[key] > 0
+
+    def test_round_eigenvalues_scale_down_with_ranks(self):
+        """Fig. 7(B): distributing the c eigen-problems over ranks shrinks that
+        component (the paper even sees weak scaling improve because of it)."""
+
+        one = round_step_model(A100_MACHINE, num_points=100_000, dimension=383, num_classes=1000, num_ranks=1)
+        twelve = round_step_model(A100_MACHINE, num_points=100_000, dimension=383, num_classes=1000, num_ranks=12)
+        assert twelve["compute_eigenvalues"] < one["compute_eigenvalues"]
+
+    def test_round_scales_linearly_in_classes(self):
+        base = round_step_model(A100_MACHINE, num_points=1_300_000, dimension=383, num_classes=100)
+        big = round_step_model(A100_MACHINE, num_points=1_300_000, dimension=383, num_classes=1000)
+        assert big["objective_function"] / base["objective_function"] == pytest.approx(10.0, rel=0.05)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            relax_step_model(A100_MACHINE, num_points=0, dimension=1, num_classes=1)
+        with pytest.raises(ValueError):
+            round_step_model(A100_MACHINE, num_points=1, dimension=1, num_classes=1, num_ranks=0)

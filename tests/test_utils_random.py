@@ -1,0 +1,83 @@
+"""Tests for RNG utilities, including Hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.random import as_generator, rademacher, spawn_generators
+
+
+def test_as_generator_from_int_is_deterministic():
+    a = as_generator(7).integers(0, 1000, size=5)
+    b = as_generator(7).integers(0, 1000, size=5)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_as_generator_passthrough():
+    gen = np.random.default_rng(3)
+    assert as_generator(gen) is gen
+
+
+def test_as_generator_from_seed_sequence():
+    ss = np.random.SeedSequence(11)
+    gen = as_generator(ss)
+    assert isinstance(gen, np.random.Generator)
+
+
+def test_spawn_generators_independent_streams():
+    gens = spawn_generators(0, 3)
+    draws = [g.integers(0, 2**31, size=4) for g in gens]
+    assert not np.array_equal(draws[0], draws[1])
+    assert not np.array_equal(draws[1], draws[2])
+
+
+def test_spawn_generators_from_generator():
+    parent = np.random.default_rng(0)
+    gens = spawn_generators(parent, 2)
+    assert len(gens) == 2
+    assert all(isinstance(g, np.random.Generator) for g in gens)
+
+
+def test_spawn_generators_negative_count_rejected():
+    with pytest.raises(ValueError):
+        spawn_generators(0, -1)
+
+
+def test_spawn_generators_zero_count():
+    assert spawn_generators(0, 0) == []
+
+
+def test_rademacher_values_are_plus_minus_one():
+    values = rademacher((100, 7), rng=0)
+    assert set(np.unique(values)).issubset({-1.0, 1.0})
+
+
+def test_rademacher_default_dtype_is_float32():
+    assert rademacher((5,), rng=0).dtype == np.float32
+
+
+def test_rademacher_dtype_override():
+    assert rademacher((5,), rng=0, dtype=np.float64).dtype == np.float64
+
+
+def test_rademacher_reproducible_with_same_seed():
+    np.testing.assert_array_equal(rademacher((8, 3), rng=5), rademacher((8, 3), rng=5))
+
+
+def test_rademacher_mean_is_small():
+    # Law of large numbers sanity check on the +/-1 balance.
+    values = rademacher(200_00, rng=0, dtype=np.float64)
+    assert abs(values.mean()) < 0.05
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=20),
+    cols=st.integers(min_value=1, max_value=20),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_rademacher_property_shape_and_values(rows, cols, seed):
+    values = rademacher((rows, cols), rng=seed, dtype=np.float64)
+    assert values.shape == (rows, cols)
+    assert np.all(np.abs(values) == 1.0)
