@@ -1,12 +1,34 @@
-"""Small helpers shared by the benchmark modules."""
+"""Small helpers shared by the benchmark modules.
+
+Besides the random Fisher-dataset factories, this module owns the
+``BENCH_*.json`` payload format: every benchmark records the active array
+backend, the storage dtype and its wall-clock seconds alongside its numbers,
+so the performance trajectory across PRs stays attributable (a speedup from
+switching ``REPRO_BACKEND`` must not be mistaken for an algorithmic win).
+"""
 
 from __future__ import annotations
 
+import json
+import pathlib
+import platform
+import time
+from typing import Any, Dict, Optional
+
 import numpy as np
 
+from repro.backend import default_dtype, get_backend
 from repro.fisher.operators import FisherDataset
 
-__all__ = ["random_probabilities", "make_random_fisher_dataset"]
+__all__ = [
+    "RESULTS_DIR",
+    "bench_payload",
+    "make_random_fisher_dataset",
+    "random_probabilities",
+    "write_bench_json",
+]
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 def random_probabilities(rng: np.random.Generator, n: int, c: int) -> np.ndarray:
@@ -33,3 +55,40 @@ def make_random_fisher_dataset(n: int, d: int, c: int, seed: int = 0) -> FisherD
         labeled_features=rng.standard_normal((2 * c, d)),
         labeled_probabilities=random_probabilities(rng, 2 * c, c),
     )
+
+
+def bench_payload(
+    name: str,
+    wall_clock_seconds: Optional[float] = None,
+    **extra: Any,
+) -> Dict[str, Any]:
+    """Assemble the standard ``BENCH_*.json`` payload for one benchmark.
+
+    Every payload carries the fields that make a number comparable across
+    PRs: which backend/device produced it, under which storage dtype, how
+    long the benchmark took end to end, and the interpreter/platform it ran
+    on.  Benchmark-specific series go into ``extra``.
+    """
+
+    backend = get_backend()
+    payload: Dict[str, Any] = {
+        "bench": name,
+        "backend": backend.name,
+        "device": backend.device,
+        "dtype": str(default_dtype()),
+        "wall_clock_seconds": wall_clock_seconds,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    payload.update(extra)
+    return payload
+
+
+def write_bench_json(name: str, payload: Dict[str, Any]) -> pathlib.Path:
+    """Persist a payload as ``benchmarks/results/BENCH_<name>.json``."""
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n")
+    return path

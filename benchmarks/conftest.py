@@ -3,31 +3,56 @@
 Every benchmark regenerates one table or figure of the paper at a reduced
 scale (the full Table V / § IV-C sizes need A100 GPUs; the reduced runs keep
 the same structure — classes, dimensionality ratios, rank counts — so the
-*shape* of each result is reproduced).  Each benchmark also writes a plain
-text artifact under ``benchmarks/results/`` with the rows/series the paper
-reports, which EXPERIMENTS.md indexes.
+*shape* of each result is reproduced).  Each benchmark writes two artifacts
+under ``benchmarks/results/``:
+
+* ``<name>.txt`` — the human-readable rows/series the paper reports, which
+  EXPERIMENTS.md indexes, and
+* ``BENCH_<name>.json`` — a machine-readable payload stamping the run with
+  the active array backend, device, storage dtype and wall-clock seconds, so
+  the perf trajectory across PRs is attributable to either algorithmic
+  changes or backend changes, never ambiguously to both.
 """
 
 from __future__ import annotations
 
 import pathlib
+import sys
+import time
 
 import pytest
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from _utils import RESULTS_DIR, bench_payload, write_bench_json  # noqa: E402
 
 
-def write_result(name: str, text: str) -> pathlib.Path:
-    """Persist a benchmark artifact (one text file per table/figure)."""
+def write_result(name: str, text: str, *, wall_clock_seconds=None, **extra) -> pathlib.Path:
+    """Persist a benchmark artifact (text + BENCH json per table/figure)."""
 
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
+    write_bench_json(
+        name, bench_payload(name, wall_clock_seconds=wall_clock_seconds, **extra)
+    )
     return path
 
 
-@pytest.fixture(scope="session")
+@pytest.fixture()
 def results_writer():
-    """Fixture handing benchmarks the artifact writer."""
+    """Fixture handing benchmarks the artifact writer.
 
-    return write_result
+    The wall clock measured here spans the benchmark body (fixture setup to
+    the ``write_result`` call), so every ``BENCH_*.json`` carries a
+    comparable end-to-end duration without each benchmark timing itself.
+    """
+
+    start = time.perf_counter()
+
+    def _write(name: str, text: str, **extra) -> pathlib.Path:
+        elapsed = time.perf_counter() - start
+        extra.setdefault("wall_clock_seconds", elapsed)
+        return write_result(name, text, **extra)
+
+    return _write

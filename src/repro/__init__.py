@@ -19,7 +19,15 @@ Quickstart::
     print(result.to_table())
 """
 
-from repro.backend import DEFAULT_DTYPE, default_dtype, set_default_dtype
+from repro.backend import (
+    DEFAULT_DTYPE,
+    available_backends,
+    default_dtype,
+    get_backend,
+    set_backend,
+    set_default_dtype,
+    use_backend,
+)
 from repro.core import (
     ApproxFIRAL,
     ExactFIRAL,
@@ -41,8 +49,12 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "DEFAULT_DTYPE",
+    "available_backends",
     "default_dtype",
+    "get_backend",
+    "set_backend",
     "set_default_dtype",
+    "use_backend",
     "ApproxFIRAL",
     "ExactFIRAL",
     "RelaxConfig",

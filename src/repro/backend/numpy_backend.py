@@ -1,0 +1,77 @@
+"""The default NumPy backend (the paper's CPU fallback path).
+
+``xp`` is NumPy itself, so every algorithm routed through the dispatch layer
+executes bit-for-bit the operations a direct ``import numpy`` implementation
+would — the regression tests pin FIRAL's selected indices against the
+pre-dispatch implementation to guarantee it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.backend.base import Array, ArrayBackend
+
+try:  # SciPy provides the same generalized eigensolver the seed used.
+    from scipy import linalg as _scipy_linalg
+except ImportError:  # pragma: no cover - scipy ships with the toolchain
+    _scipy_linalg = None
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(ArrayBackend):
+    """Array backend backed by NumPy (always available; the default)."""
+
+    name = "numpy"
+    xp = np
+
+    # ------------------------------------------------------------------ #
+    def native_dtype(self, dtype):
+        return np.dtype(dtype)
+
+    def asarray(self, a, dtype=None) -> np.ndarray:
+        return np.asarray(a, dtype=None if dtype is None else np.dtype(dtype))
+
+    def astype(self, a: Array, dtype) -> np.ndarray:
+        return np.asarray(a).astype(np.dtype(dtype), copy=False)
+
+    def copy(self, a: Array) -> np.ndarray:
+        return np.array(a, copy=True)
+
+    def to_numpy(self, a: Array) -> np.ndarray:
+        return np.asarray(a)
+
+    def from_host(self, a: np.ndarray, dtype=None) -> np.ndarray:
+        return self.asarray(a, dtype=dtype)
+
+    def is_floating(self, a: Array) -> bool:
+        return bool(np.issubdtype(np.asarray(a).dtype, np.floating))
+
+    def is_integer(self, a: Array) -> bool:
+        return bool(np.issubdtype(np.asarray(a).dtype, np.integer))
+
+    def nbytes(self, a: Array) -> int:
+        return int(np.asarray(a).nbytes)
+
+    # ------------------------------------------------------------------ #
+    def einsum(self, subscripts: str, *operands, out: Optional[np.ndarray] = None,
+               optimize: bool = False) -> np.ndarray:
+        return np.einsum(subscripts, *operands, out=out, optimize=optimize)
+
+    def eigh_generalized(self, a: Array, b: Array) -> np.ndarray:
+        a64 = self.ascompute(a)
+        b64 = self.ascompute(b)
+        if _scipy_linalg is None:  # pragma: no cover - exercised only without scipy
+            return super().eigh_generalized(a64, b64)
+        if a64.ndim == 2:
+            return _scipy_linalg.eigh(a64, b64, eigvals_only=True)
+        batch_shape = a64.shape[:-2]
+        flat_a = a64.reshape(-1, *a64.shape[-2:])
+        flat_b = b64.reshape(-1, *b64.shape[-2:])
+        out = np.empty(flat_a.shape[:2], dtype=np.float64)
+        for k in range(flat_a.shape[0]):
+            out[k] = _scipy_linalg.eigh(flat_a[k], flat_b[k], eigvals_only=True)
+        return out.reshape(*batch_shape, a64.shape[-1])

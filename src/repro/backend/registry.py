@@ -1,0 +1,143 @@
+"""Backend registry and selection (``set_backend`` / ``REPRO_BACKEND``).
+
+One backend is active at a time, exactly as the paper's implementation picks
+``cupy`` or ``numpy`` once per run.  Selection comes from three places, in
+priority order:
+
+1. an explicit :func:`set_backend` / :func:`use_backend` call,
+2. the ``REPRO_BACKEND`` environment variable (read lazily at first use),
+3. the default: ``"numpy"``.
+
+Specs are strings of the form ``"name"`` or ``"name:device"``; for example
+``REPRO_BACKEND=torch:cuda`` selects the PyTorch backend on GPU, mirroring
+the CuPy/A100 configuration of § III-C.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional, Tuple, Union
+
+from repro.backend.base import ArrayBackend
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.torch_backend import TorchBackend, torch_available
+
+__all__ = [
+    "available_backends",
+    "backend_from_spec",
+    "get_backend",
+    "register_backend",
+    "set_backend",
+    "use_backend",
+]
+
+ENV_VAR = "REPRO_BACKEND"
+
+#: name -> factory(device: Optional[str]) -> ArrayBackend
+_FACTORIES: Dict[str, Callable[[Optional[str]], ArrayBackend]] = {}
+_AVAILABILITY: Dict[str, Callable[[], bool]] = {}
+
+_lock = threading.Lock()
+_active: Optional[ArrayBackend] = None
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[Optional[str]], ArrayBackend],
+    *,
+    available: Callable[[], bool] = lambda: True,
+) -> None:
+    """Register a backend factory under ``name``.
+
+    ``factory`` receives the (optional) device string from the spec.
+    ``available`` is a cheap probe used by :func:`available_backends` and by
+    the dispatch test-suite parametrization; registering an unavailable
+    backend is fine — constructing it should raise an informative error.
+    """
+
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("backend name must be non-empty")
+    _FACTORIES[key] = factory
+    _AVAILABILITY[key] = available
+
+
+register_backend("numpy", lambda device: NumpyBackend())
+register_backend(
+    "torch",
+    lambda device: TorchBackend(device or "cpu"),
+    available=torch_available,
+)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of registered backends whose dependencies are importable."""
+
+    return tuple(name for name, probe in _AVAILABILITY.items() if probe())
+
+
+def _parse_spec(spec: str) -> Tuple[str, Optional[str]]:
+    name, sep, device = spec.partition(":")
+    return name.strip().lower(), (device.strip() or None) if sep else None
+
+
+def backend_from_spec(spec: str) -> ArrayBackend:
+    """Instantiate a backend from a ``"name"`` / ``"name:device"`` spec."""
+
+    name, device = _parse_spec(spec)
+    if name not in _FACTORIES:
+        raise ValueError(
+            f"unknown array backend {name!r}; registered backends: "
+            f"{', '.join(sorted(_FACTORIES))}"
+        )
+    return _FACTORIES[name](device)
+
+
+def get_backend() -> ArrayBackend:
+    """Return the active backend, resolving ``REPRO_BACKEND`` on first use."""
+
+    global _active
+    if _active is None:
+        with _lock:
+            if _active is None:
+                _active = backend_from_spec(os.environ.get(ENV_VAR, "numpy"))
+    return _active
+
+
+def set_backend(backend: Union[str, ArrayBackend]) -> ArrayBackend:
+    """Select the active array backend.
+
+    Parameters
+    ----------
+    backend:
+        Either a spec string (``"numpy"``, ``"torch"``, ``"torch:cuda"``) or
+        an :class:`ArrayBackend` instance.
+
+    Returns
+    -------
+    The backend that is now active.
+    """
+
+    global _active
+    instance = backend_from_spec(backend) if isinstance(backend, str) else backend
+    if not isinstance(instance, ArrayBackend):
+        raise TypeError("backend must be a spec string or an ArrayBackend instance")
+    with _lock:
+        _active = instance
+    return instance
+
+
+@contextmanager
+def use_backend(backend: Union[str, ArrayBackend]) -> Iterator[ArrayBackend]:
+    """Context manager that temporarily switches the active backend."""
+
+    global _active
+    previous = get_backend()
+    instance = set_backend(backend)
+    try:
+        yield instance
+    finally:
+        with _lock:
+            _active = previous

@@ -1,0 +1,55 @@
+"""Reusable scratch buffers for the iterative hot loops.
+
+The inner loop of Algorithm 2 evaluates the same einsum contractions with
+the same shapes every mirror-descent iteration (probes ``(dc, s)``, the
+``(n, c, s)`` projection tensor of Lemma 2, the CG residual block).  A
+:class:`Workspace` hands out named, shape/dtype-keyed buffers allocated once
+through the active backend and reused across iterations, so the loop stops
+paying an allocator round-trip per einsum — the CPU analogue of the
+memory-pool reuse CuPy performs on the GPU.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.backend.base import Array, ArrayBackend
+
+__all__ = ["Workspace"]
+
+
+def _dtype_key(backend: ArrayBackend, dtype) -> str:
+    return str(backend.native_dtype(dtype))
+
+
+class Workspace:
+    """Named scratch-buffer pool bound to one backend.
+
+    ``get(name, shape, dtype)`` returns the same buffer object for the same
+    key, allocating on first use.  Shapes are part of the key, so a workspace
+    shared between the pool-sized and labeled-sized matvecs of
+    :class:`~repro.fisher.operators.FisherDataset` keeps the two buffers
+    apart.  Buffer contents are *not* zeroed on reuse — callers own the
+    overwrite (every use in the library writes via ``out=`` or full-slice
+    assignment).
+    """
+
+    def __init__(self, backend: ArrayBackend):
+        self.backend = backend
+        self._buffers: Dict[Tuple[str, Tuple[int, ...], str], Array] = {}
+
+    def get(self, name: str, shape, dtype) -> Array:
+        """Return the (possibly newly allocated) buffer for ``name``/``shape``."""
+
+        key = (name, tuple(int(s) for s in shape), _dtype_key(self.backend, dtype))
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = self.backend.empty(key[1], dtype=dtype)
+            self._buffers[key] = buf
+        return buf
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def clear(self) -> None:
+        self._buffers.clear()

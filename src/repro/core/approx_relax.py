@@ -14,21 +14,27 @@ Per mirror-descent iteration:
 The per-iteration cost is ``O(n c d (d + n_CG s) / p + c d^3)`` (Table IV);
 the timing breakdown records the same components plotted in Fig. 5(A)/(B) and
 Fig. 6.
+
+All array math dispatches through the active backend.  With
+``RelaxConfig.reuse_buffers`` one :class:`~repro.backend.Workspace` is shared
+across iterations: the probe buffer and every Lemma-2 einsum intermediate
+have iteration-independent shapes, so the inner loop reuses them instead of
+reallocating per iteration (results equal up to fp reduction order; see the
+config docstring).
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
+from repro.backend import COMPUTE_DTYPE, Workspace, get_backend
 from repro.core.config import RelaxConfig
 from repro.core.result import RelaxResult
 from repro.fisher.matvec import probe_hessian_quadratic_forms
 from repro.fisher.objective import fisher_ratio_objective, fisher_ratio_objective_estimate
 from repro.fisher.operators import FisherDataset, SigmaOperator
 from repro.linalg.cg import conjugate_gradient
-from repro.utils.random import as_generator, rademacher
+from repro.utils.random import as_generator
 from repro.utils.timing import TimingBreakdown
 from repro.utils.validation import require
 
@@ -54,12 +60,16 @@ def approx_relax(
 
     require(budget > 0, "budget must be positive")
     cfg = config or RelaxConfig()
+    backend = get_backend()
+    xp = backend.xp
     rng = as_generator(cfg.seed)
     n = dataset.num_pool
     dc = dataset.joint_dimension
     timings = TimingBreakdown()
+    # Optional preallocated scratch buffers (see RelaxConfig.reuse_buffers).
+    workspace = Workspace(backend) if cfg.reuse_buffers else None
 
-    z = np.full(n, 1.0 / n, dtype=np.float64)
+    z = backend.full((n,), 1.0 / n, dtype=COMPUTE_DTYPE)
     objective_trace = []
     first_cg_history: list = []
     total_cg_iterations = 0
@@ -68,13 +78,25 @@ def approx_relax(
     iterations = 0
     for t in range(1, cfg.max_iterations + 1):
         iterations = t
-        # Line 4: fresh Rademacher probes each iteration.
+        # Line 4: fresh Rademacher probes each iteration, drawn into the
+        # iteration-invariant workspace buffer.
         with timings.region("other"):
-            probes = rademacher((dc, cfg.num_probes), rng=rng, dtype=np.float64)
+            probes = backend.rademacher(
+                (dc, cfg.num_probes),
+                rng=rng,
+                dtype=COMPUTE_DTYPE,
+                out=(
+                    workspace.get("probes", (dc, cfg.num_probes), COMPUTE_DTYPE)
+                    if workspace is not None
+                    else None
+                ),
+            )
 
         # Line 5: block-diagonal preconditioner for the current Sigma_z.
         with timings.region("setup_preconditioner"):
-            operator = SigmaOperator(dataset, budget * z, regularization=cfg.regularization)
+            operator = SigmaOperator(
+                dataset, budget * z, regularization=cfg.regularization, workspace=workspace
+            )
 
         # Lines 6-8: W = Sigma^{-1} H_p Sigma^{-1} V via two PCG solves.
         with timings.region("cg"):
@@ -90,7 +112,9 @@ def approx_relax(
             if t == 1:
                 first_cg_history = list(first_solve.residual_history)
         with timings.region("other"):
-            pool_applied = dataset.pool_hessian_matvec(first_solve.solution)
+            pool_applied = dataset.pool_hessian_matvec(
+                first_solve.solution, workspace=workspace, tag="pool_apply"
+            )
         with timings.region("cg"):
             second_solve = conjugate_gradient(
                 operator.matvec,
@@ -109,15 +133,16 @@ def approx_relax(
                 dataset.pool_probabilities,
                 probes,
                 second_solve.solution,
+                workspace=workspace,
             )
 
         # Lines 10-11: exponentiated-gradient update on the simplex.
         with timings.region("other"):
-            scale = float(np.max(np.abs(grad))) if cfg.normalize_gradient else 1.0
+            scale = float(xp.abs(grad).max()) if cfg.normalize_gradient else 1.0
             beta = cfg.step_size(t, scale)
-            log_z = np.log(np.clip(z, 1e-300, None)) - beta * grad
+            log_z = xp.log(xp.clip(z, 1e-300, None)) - beta * grad
             log_z -= log_z.max()
-            z = np.exp(log_z)
+            z = xp.exp(log_z)
             z /= z.sum()
 
         # Optional objective tracking (Fig. 4) and stopping criterion.

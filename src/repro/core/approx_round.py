@@ -11,16 +11,17 @@ block-diagonal algebra:
   for ν (Line 10),
 * ``B_{t+1}^{-1}`` is a batch of ``c`` dense ``d x d`` inverses (Line 11).
 
-Total cost ``O(b c d^2 (n/p + d))`` — the ROUND column of Table IV.
+Total cost ``O(b c d^2 (n/p + d))`` — the ROUND column of Table IV.  The
+generalized eigensolve and the batched inverses run through the active
+backend's promoted (float64) linear algebra.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
-import numpy as np
-from scipy import linalg as sla
-
+from repro.backend import Array, COMPUTE_DTYPE, get_backend
 from repro.core.config import RoundConfig
 from repro.core.result import RoundResult
 from repro.fisher.hessian import point_block_coefficients
@@ -31,31 +32,29 @@ from repro.linalg.sherman_morrison import block_rank_one_quadratic_forms
 from repro.utils.timing import TimingBreakdown
 from repro.utils.validation import require
 
-__all__ = ["approx_round", "selected_batch_min_eigenvalue"]
+__all__ = ["approx_round", "generalized_block_eigenvalues", "selected_batch_min_eigenvalue"]
 
 
-def _generalized_block_eigenvalues(
-    accumulated: BlockDiagonalMatrix, sigma: BlockDiagonalMatrix
-) -> np.ndarray:
-    """Eigenvalues of ``Sigma^{-1/2} H Sigma^{-1/2}`` block by block.
+def generalized_block_eigenvalues(a_blocks: Array, s_blocks: Array) -> Array:
+    """Eigenvalues of ``S^{-1/2} A S^{-1/2}`` for stacked ``(c, d, d)`` blocks.
 
-    Equivalent to the generalized eigenproblem ``H v = lambda Sigma v`` per
-    class block, which is how Line 9 of Algorithm 3 is evaluated without
-    forming ``Sigma^{-1/2}`` explicitly.  Returns an array of shape
-    ``(c, d)``.
+    Equivalent to the generalized eigenproblem ``A v = lambda S v`` per class
+    block, which is how Line 9 of Algorithm 3 is evaluated without forming
+    ``S^{-1/2}`` explicitly.  Inputs are promoted to the compute dtype and
+    symmetrized; the distributed ROUND solver shares this helper (on block
+    slices) so both paths apply the identical promotion/symmetrization
+    policy.  Returns an array of shape ``(c, d)``.
     """
 
-    c = accumulated.num_blocks
-    d = accumulated.block_size
-    eigenvalues = np.empty((c, d), dtype=np.float64)
-    for k in range(c):
-        a_k = 0.5 * (accumulated.blocks[k] + accumulated.blocks[k].T).astype(np.float64)
-        s_k = 0.5 * (sigma.blocks[k] + sigma.blocks[k].T).astype(np.float64)
-        eigenvalues[k] = sla.eigh(a_k, s_k, eigvals_only=True)
-    return eigenvalues
+    backend = get_backend()
+    a = backend.ascompute(a_blocks)
+    s = backend.ascompute(s_blocks)
+    a_sym = 0.5 * (a + backend.transpose_last(a))
+    s_sym = 0.5 * (s + backend.transpose_last(s))
+    return backend.eigh_generalized(a_sym, s_sym)
 
 
-def selected_batch_min_eigenvalue(dataset: FisherDataset, selected_indices: np.ndarray) -> float:
+def selected_batch_min_eigenvalue(dataset: FisherDataset, selected_indices: Array) -> float:
     """``min_k lambda_min(H_k)`` of the selected batch's block Hessian sum.
 
     This is the score the paper maximizes when grid-searching η (§ IV-A):
@@ -63,18 +62,20 @@ def selected_batch_min_eigenvalue(dataset: FisherDataset, selected_indices: np.n
     the summation of Hessians of the selected b points".
     """
 
-    selected_indices = np.asarray(selected_indices, dtype=np.int64)
+    backend = get_backend()
+    selected_indices = backend.index_array(selected_indices)
     require(selected_indices.size > 0, "selection must not be empty")
     X = dataset.pool_features[selected_indices]
     H = dataset.pool_probabilities[selected_indices]
     coeff = point_block_coefficients(H)
-    blocks = np.einsum("ik,id,ie->kde", coeff, X.astype(np.float64), X.astype(np.float64), optimize=True)
+    X64 = backend.ascompute(X)
+    blocks = backend.einsum("ik,id,ie->kde", coeff, X64, X64, optimize=True)
     return BlockDiagonalMatrix(blocks, copy=False).min_eigenvalue()
 
 
 def approx_round(
     dataset: FisherDataset,
-    z_relaxed: np.ndarray,
+    z_relaxed: Array,
     budget: int,
     eta: float,
     config: Optional[RoundConfig] = None,
@@ -98,18 +99,20 @@ def approx_round(
     require(budget > 0, "budget must be positive")
     require(eta > 0, "eta must be positive")
     cfg = config or RoundConfig(eta=eta)
+    backend = get_backend()
+    xp = backend.xp
     n = dataset.num_pool
     require(n >= budget or cfg.allow_repeats, "pool smaller than budget with allow_repeats=False")
 
-    z_relaxed = np.asarray(z_relaxed, dtype=np.float64).ravel()
-    require(z_relaxed.shape == (n,), "z_relaxed must have one weight per pool point")
+    z_relaxed = backend.ascompute(z_relaxed).ravel()
+    require(tuple(z_relaxed.shape) == (n,), "z_relaxed must have one weight per pool point")
 
     timings = TimingBreakdown()
     d = dataset.dimension
     c = dataset.num_classes
     dc = d * c
 
-    X = dataset.pool_features.astype(np.float64)
+    X = backend.ascompute(dataset.pool_features)
     gammas = point_block_coefficients(dataset.pool_probabilities)  # (n, c)
 
     with timings.region("other"):
@@ -120,15 +123,15 @@ def approx_round(
         labeled_blocks = dataset.labeled_block_diagonal()
 
         # Line 4: B_1 = sqrt(dc) * Sigma_* + (eta/b) * H_o, inverted per block.
-        b1 = sigma_star * np.sqrt(dc) + labeled_blocks * (eta / budget)
+        b1 = sigma_star * math.sqrt(dc) + labeled_blocks * (eta / budget)
         bt_inv = b1.inverse()
 
         # Line 5: accumulated H starts at zero.
-        accumulated = BlockDiagonalMatrix.zeros(c, d, dtype=np.float64)
+        accumulated = BlockDiagonalMatrix.zeros(c, d, dtype=COMPUTE_DTYPE)
 
     selected = []
     objective_trace = []
-    available = np.ones(n, dtype=bool)
+    available = backend.ones((n,), dtype=bool)
 
     for t in range(1, budget + 1):
         # Line 7: candidate scoring via Proposition 4 (Eq. 17, with Sigma_* as
@@ -136,9 +139,9 @@ def approx_round(
         with timings.region("objective_function"):
             scores = block_rank_one_quadratic_forms(bt_inv, sigma_star, X, gammas, eta)
             if not cfg.allow_repeats:
-                scores = np.where(available, scores, -np.inf)
-            best_index = int(np.argmax(scores))
-            require(np.isfinite(scores[best_index]), "no candidate available for selection")
+                scores = xp.where(available, scores, -xp.inf)
+            best_index = int(xp.argmax(scores))
+            require(bool(xp.isfinite(scores[best_index])), "no candidate available for selection")
             selected.append(best_index)
             objective_trace.append(float(scores[best_index]))
             available[best_index] = False
@@ -147,15 +150,15 @@ def approx_round(
         with timings.region("other"):
             x_sel = X[best_index]
             gamma_sel = gammas[best_index]
-            rank_one = np.einsum("k,d,e->kde", gamma_sel, x_sel, x_sel)
+            rank_one = backend.einsum("k,d,e->kde", gamma_sel, x_sel, x_sel)
             accumulated = BlockDiagonalMatrix(
-                accumulated.blocks + labeled_blocks.blocks.astype(np.float64) / budget + rank_one,
+                accumulated.blocks + backend.ascompute(labeled_blocks.blocks) / budget + rank_one,
                 copy=False,
             )
 
         # Lines 9-10: generalized eigenvalues and the FTRL constant nu.
         with timings.region("compute_eigenvalues"):
-            eigenvalues = _generalized_block_eigenvalues(accumulated, sigma_star)
+            eigenvalues = generalized_block_eigenvalues(accumulated.blocks, sigma_star.blocks)
             nu = find_ftrl_nu(eta * eigenvalues)
 
         # Line 11: refresh B_{t+1}^{-1}.
@@ -168,7 +171,7 @@ def approx_round(
             bt_inv = next_b.inverse()
 
     return RoundResult(
-        selected_indices=np.asarray(selected, dtype=np.int64),
+        selected_indices=backend.index_array(selected),
         eta=float(eta),
         objective_trace=objective_trace,
         timings=timings,

@@ -54,6 +54,16 @@ class RelaxConfig:
         the labeled set is tiny (the first rounds have one point per class).
     seed:
         RNG seed for the Rademacher probes.
+    reuse_buffers:
+        When true, the Algorithm-2 inner loop draws probes into and runs its
+        Lemma-2 einsums through a preallocated
+        :class:`~repro.backend.Workspace`, eliminating the per-iteration
+        allocator churn (the CPU analogue of CuPy's memory-pool reuse).
+        Results are equal up to floating-point reduction order — reusing
+        buffers changes memory layout, which perturbs SIMD/BLAS summation at
+        the ULP level — so the default is off to keep runs bit-reproducible
+        against the allocation-free path (selections are unaffected either
+        way).
     """
 
     max_iterations: int = 100
@@ -67,6 +77,7 @@ class RelaxConfig:
     track_objective: str = "estimate"
     regularization: float = 1e-6
     seed: Optional[int] = 0
+    reuse_buffers: bool = False
 
     def __post_init__(self) -> None:
         require(self.max_iterations > 0, "max_iterations must be positive")

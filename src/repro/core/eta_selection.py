@@ -11,10 +11,10 @@ therefore mixes O(1) values with multiples of sqrt(dc).
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Optional, Sequence, Tuple
 
-import numpy as np
-
+from repro.backend import Array
 from repro.core.approx_round import selected_batch_min_eigenvalue
 from repro.core.config import RoundConfig
 from repro.core.result import RoundResult
@@ -23,21 +23,21 @@ from repro.utils.validation import require
 
 __all__ = ["default_eta_grid", "select_eta"]
 
-RoundSolver = Callable[[FisherDataset, np.ndarray, int, float, Optional[RoundConfig]], RoundResult]
+RoundSolver = Callable[[FisherDataset, Array, int, float, Optional[RoundConfig]], RoundResult]
 
 
 def default_eta_grid(joint_dimension: int) -> Tuple[float, ...]:
     """Grid of candidate η values mixing O(1) and sqrt(dc)-scaled entries."""
 
     require(joint_dimension > 0, "joint_dimension must be positive")
-    scale = float(np.sqrt(joint_dimension))
+    scale = math.sqrt(joint_dimension)
     return (0.1, 0.5, 1.0, 2.0, 0.5 * scale, scale, 8.0 * scale)
 
 
 def select_eta(
     solver: RoundSolver,
     dataset: FisherDataset,
-    z_relaxed: np.ndarray,
+    z_relaxed: Array,
     budget: int,
     *,
     eta_grid: Optional[Sequence[float]] = None,
@@ -69,7 +69,7 @@ def select_eta(
     require(all(e > 0 for e in grid), "eta values must be positive")
 
     best_result: Optional[RoundResult] = None
-    best_score = -np.inf
+    best_score = -math.inf
     for eta in grid:
         result = solver(dataset, z_relaxed, budget, float(eta), config)
         score = selected_batch_min_eigenvalue(dataset, result.selected_indices)

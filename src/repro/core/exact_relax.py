@@ -15,8 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
+from repro.backend import Array, COMPUTE_DTYPE, get_backend
 from repro.core.config import RelaxConfig
 from repro.core.result import RelaxResult
 from repro.fisher.objective import fisher_ratio_objective
@@ -29,10 +28,10 @@ __all__ = ["exact_relax", "exact_relax_gradient"]
 
 def exact_relax_gradient(
     dataset: FisherDataset,
-    z: np.ndarray,
+    z: Array,
     *,
     regularization: float = 0.0,
-) -> np.ndarray:
+) -> Array:
     """Exact gradient ``g_i = -Trace(H_i Sigma_z^{-1} H_p Sigma_z^{-1})``.
 
     Using ``H_i = A_i ⊗ x_i x_i^T`` with ``A_i = diag(h_i) - h_i h_i^T``, the
@@ -46,27 +45,28 @@ def exact_relax_gradient(
     the reference implementation vectorized enough to run in tests.
     """
 
-    z = np.asarray(z, dtype=np.float64).ravel()
-    require(z.shape == (dataset.num_pool,), "z must have one weight per pool point")
+    backend = get_backend()
+    z = backend.ascompute(z).ravel()
+    require(tuple(z.shape) == (dataset.num_pool,), "z must have one weight per pool point")
 
     d = dataset.dimension
     c = dataset.num_classes
     sigma = dataset.sigma_dense(z)
     if regularization > 0.0:
-        sigma = sigma + regularization * np.eye(sigma.shape[0])
+        sigma = sigma + regularization * backend.eye(int(sigma.shape[0]), dtype=sigma.dtype)
     pool = dataset.pool_hessian_dense()
     # M = Sigma^{-1} H_p Sigma^{-1}
-    inv_pool = np.linalg.solve(sigma, pool)
-    M = np.linalg.solve(sigma, inv_pool.T).T
+    inv_pool = backend.solve(sigma, pool)
+    M = backend.transpose_last(backend.solve(sigma, backend.transpose_last(inv_pool)))
     # Block quadratic forms P[i, k, l] = x_i^T M_{kl} x_i
     Mr = M.reshape(c, d, c, d)
-    X = dataset.pool_features.astype(np.float64)
-    P = np.einsum("id,kdle,ie->ikl", X, Mr, X, optimize=True)
+    X = backend.ascompute(dataset.pool_features)
+    P = backend.einsum("id,kdle,ie->ikl", X, Mr, X, optimize=True)
 
-    H = dataset.pool_probabilities.astype(np.float64)
+    H = backend.ascompute(dataset.pool_probabilities)
     # Trace(H_i M) = sum_k h_ik P[i,k,k] - sum_{k,l} h_ik h_il P[i,l,k]
-    diag_term = np.einsum("ik,ikk->i", H, P)
-    cross_term = np.einsum("ik,il,ilk->i", H, H, P, optimize=True)
+    diag_term = backend.einsum("ik,ikk->i", H, P)
+    cross_term = backend.einsum("ik,il,ilk->i", H, H, P, optimize=True)
     return -(diag_term - cross_term)
 
 
@@ -90,10 +90,12 @@ def exact_relax(
 
     require(budget > 0, "budget must be positive")
     cfg = config or RelaxConfig()
+    backend = get_backend()
+    xp = backend.xp
     n = dataset.num_pool
     timings = TimingBreakdown()
 
-    z = np.full(n, 1.0 / n, dtype=np.float64)
+    z = backend.full((n,), 1.0 / n, dtype=COMPUTE_DTYPE)
     objective_trace = []
     converged = False
 
@@ -103,12 +105,12 @@ def exact_relax(
         with timings.region("gradient"):
             grad = exact_relax_gradient(dataset, budget * z, regularization=cfg.regularization)
         with timings.region("other"):
-            scale = float(np.max(np.abs(grad))) if cfg.normalize_gradient else 1.0
+            scale = float(xp.abs(grad).max()) if cfg.normalize_gradient else 1.0
             beta = cfg.step_size(t, scale)
             # Entropic mirror descent / exponentiated gradient update.
-            log_z = np.log(np.clip(z, 1e-300, None)) - beta * grad
+            log_z = xp.log(xp.clip(z, 1e-300, None)) - beta * grad
             log_z -= log_z.max()
-            z = np.exp(log_z)
+            z = xp.exp(log_z)
             z /= z.sum()
 
         with timings.region("objective"):

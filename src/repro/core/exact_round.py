@@ -11,10 +11,10 @@ is validated (Proposition 4) and timed (Table VI).
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
-import numpy as np
-
+from repro.backend import Array, COMPUTE_DTYPE, get_backend
 from repro.core.config import RoundConfig
 from repro.core.result import RoundResult
 from repro.fisher.hessian import point_hessian_dense
@@ -26,17 +26,19 @@ from repro.utils.validation import require
 __all__ = ["exact_round"]
 
 
-def _symmetric_inv_sqrt(matrix: np.ndarray) -> np.ndarray:
+def _symmetric_inv_sqrt(matrix: Array) -> Array:
     """Inverse symmetric square root ``M^{-1/2}`` via eigendecomposition."""
 
-    w, V = np.linalg.eigh(0.5 * (matrix + matrix.T))
-    require(bool(np.all(w > 0)), "matrix must be positive definite for inverse sqrt")
-    return (V * (1.0 / np.sqrt(w))) @ V.T
+    backend = get_backend()
+    xp = backend.xp
+    w, V = backend.eigh(0.5 * (matrix + backend.transpose_last(matrix)))
+    require(bool(xp.all(w > 0)), "matrix must be positive definite for inverse sqrt")
+    return (V * (1.0 / xp.sqrt(w))) @ backend.transpose_last(V)
 
 
 def exact_round(
     dataset: FisherDataset,
-    z_relaxed: np.ndarray,
+    z_relaxed: Array,
     budget: int,
     eta: float,
     config: Optional[RoundConfig] = None,
@@ -61,11 +63,13 @@ def exact_round(
     require(budget > 0, "budget must be positive")
     require(eta > 0, "eta must be positive")
     cfg = config or RoundConfig(eta=eta)
+    backend = get_backend()
+    xp = backend.xp
     n = dataset.num_pool
     require(n >= budget or cfg.allow_repeats, "pool smaller than budget with allow_repeats=False")
 
-    z_relaxed = np.asarray(z_relaxed, dtype=np.float64).ravel()
-    require(z_relaxed.shape == (n,), "z_relaxed must have one weight per pool point")
+    z_relaxed = backend.ascompute(z_relaxed).ravel()
+    require(tuple(z_relaxed.shape) == (n,), "z_relaxed must have one weight per pool point")
 
     timings = TimingBreakdown()
     d = dataset.dimension
@@ -75,33 +79,33 @@ def exact_round(
     with timings.region("other"):
         sigma_star = dataset.sigma_dense(z_relaxed)
         if cfg.regularization > 0.0:
-            sigma_star = sigma_star + cfg.regularization * np.eye(dc)
+            sigma_star = sigma_star + cfg.regularization * backend.eye(dc, dtype=sigma_star.dtype)
         sigma_inv_sqrt = _symmetric_inv_sqrt(sigma_star)
         h_labeled = dataset.labeled_hessian_dense()
         h_labeled_tilde = sigma_inv_sqrt @ h_labeled @ sigma_inv_sqrt
         # Transformed candidate Hessians ~H_i = Sigma^{-1/2} H_i Sigma^{-1/2}.
-        candidate_tilde = np.empty((n, dc, dc), dtype=np.float64)
+        candidate_tilde = backend.empty((n, dc, dc), dtype=COMPUTE_DTYPE)
         for i in range(n):
             h_i = point_hessian_dense(dataset.pool_features[i], dataset.pool_probabilities[i])
             candidate_tilde[i] = sigma_inv_sqrt @ h_i @ sigma_inv_sqrt
 
-    A_t = np.sqrt(dc) * np.eye(dc)
-    accumulated = np.zeros((dc, dc), dtype=np.float64)
+    A_t = math.sqrt(dc) * backend.eye(dc, dtype=COMPUTE_DTYPE)
+    accumulated = backend.zeros((dc, dc), dtype=COMPUTE_DTYPE)
 
     selected = []
     objective_trace = []
-    available = np.ones(n, dtype=bool)
+    available = backend.ones((n,), dtype=bool)
 
     for t in range(1, budget + 1):
         with timings.region("objective_function"):
             base = A_t + (eta / budget) * h_labeled_tilde
             best_index = -1
-            best_value = np.inf
+            best_value = xp.inf
             for i in range(n):
-                if not cfg.allow_repeats and not available[i]:
+                if not cfg.allow_repeats and not bool(available[i]):
                     continue
                 trial = base + eta * candidate_tilde[i]
-                value = float(np.trace(np.linalg.inv(trial)))
+                value = float(xp.trace(backend.inv(trial)))
                 if value < best_value:
                     best_value = value
                     best_index = i
@@ -112,12 +116,12 @@ def exact_round(
 
         with timings.region("compute_eigenvalues"):
             accumulated += (1.0 / budget) * h_labeled_tilde + candidate_tilde[best_index]
-            eigenvalues, eigenvectors = np.linalg.eigh(eta * accumulated)
+            eigenvalues, eigenvectors = backend.eigh(eta * accumulated)
             nu = find_ftrl_nu(eigenvalues)
-            A_t = (eigenvectors * (nu + eigenvalues)) @ eigenvectors.T
+            A_t = (eigenvectors * (nu + eigenvalues)) @ backend.transpose_last(eigenvectors)
 
     return RoundResult(
-        selected_indices=np.asarray(selected, dtype=np.int64),
+        selected_indices=backend.index_array(selected),
         eta=float(eta),
         objective_trace=objective_trace,
         timings=timings,

@@ -5,14 +5,17 @@
 same ``select`` interface consumed by the active-learning experiment driver
 and by the baseline strategies in :mod:`repro.baselines`, so methods can be
 swapped freely in experiments (Fig. 2/3).
+
+Both selectors run on whichever array backend is active (see
+:func:`repro.set_backend` / ``REPRO_BACKEND``); selected indices are always
+returned as host integer arrays regardless of backend.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
+from repro.backend import get_backend
 from repro.core.approx_relax import approx_relax
 from repro.core.approx_round import approx_round
 from repro.core.config import RelaxConfig, RoundConfig
@@ -72,7 +75,7 @@ class _FIRALBase:
             )
 
         return SelectionResult(
-            selected_indices=np.asarray(round_result.selected_indices, dtype=np.int64),
+            selected_indices=get_backend().index_array(round_result.selected_indices),
             relax=relax_result,
             round=round_result,
             metadata={"method": self.name, "budget": budget},

@@ -11,8 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-import numpy as np
-
+from repro.backend import Array
 from repro.utils.timing import TimingBreakdown
 
 __all__ = ["RelaxResult", "RoundResult", "SelectionResult"]
@@ -41,7 +40,7 @@ class RelaxResult:
         Wall-clock breakdown with the component names of Fig. 5(A)/(B).
     """
 
-    weights: np.ndarray
+    weights: Array
     objective_trace: List[float] = field(default_factory=list)
     iterations: int = 0
     converged: bool = False
@@ -51,7 +50,7 @@ class RelaxResult:
 
     @property
     def budget(self) -> float:
-        return float(np.sum(self.weights))
+        return float(self.weights.sum())
 
 
 @dataclass
@@ -73,7 +72,7 @@ class RoundResult:
         Wall-clock breakdown with the component names of Fig. 5(C)/(D).
     """
 
-    selected_indices: np.ndarray
+    selected_indices: Array
     eta: float
     eta_score: Optional[float] = None
     objective_trace: List[float] = field(default_factory=list)
@@ -88,7 +87,7 @@ class RoundResult:
 class SelectionResult:
     """End-to-end FIRAL selection: relaxed weights plus rounded indices."""
 
-    selected_indices: np.ndarray
+    selected_indices: Array
     relax: RelaxResult
     round: RoundResult
     metadata: Dict[str, object] = field(default_factory=dict)

@@ -11,8 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
+from repro.backend import Array, COMPUTE_DTYPE, get_backend
 from repro.linalg.block_diag import BlockDiagonalMatrix
 from repro.utils.validation import check_features, check_probabilities, require
 
@@ -24,7 +23,7 @@ __all__ = [
 ]
 
 
-def point_hessian_dense(x: np.ndarray, h: np.ndarray) -> np.ndarray:
+def point_hessian_dense(x: Array, h: Array) -> Array:
     """Dense per-point Hessian ``H_i = [diag(h) - h h^T] ⊗ (x x^T)`` (Eq. 2).
 
     Parameters
@@ -36,52 +35,55 @@ def point_hessian_dense(x: np.ndarray, h: np.ndarray) -> np.ndarray:
 
     Returns
     -------
-    ndarray of shape ``(dc, dc)``.  Block ``(k, l)`` of size ``d x d`` equals
+    Array of shape ``(dc, dc)``.  Block ``(k, l)`` of size ``d x d`` equals
     ``(diag(h) - h h^T)_{kl} * x x^T`` — consistent with the library-wide
     vectorization convention (class-major blocks).
     """
 
-    x = np.asarray(x, dtype=np.float64).ravel()
-    h = np.asarray(h, dtype=np.float64).ravel()
-    require(x.size > 0 and h.size > 0, "x and h must be non-empty")
-    require(bool(np.all(h >= -1e-9)), "probabilities must be non-negative")
+    backend = get_backend()
+    xp = backend.xp
+    x = backend.ascompute(x).ravel()
+    h = backend.ascompute(h).ravel()
+    require(int(x.shape[0]) > 0 and int(h.shape[0]) > 0, "x and h must be non-empty")
+    require(bool(xp.all(h >= -1e-9)), "probabilities must be non-negative")
     require(float(h.sum()) <= 1.0 + 1e-6, "probabilities must sum to at most 1")
 
-    prob_matrix = np.diag(h) - np.outer(h, h)
-    return np.kron(prob_matrix, np.outer(x, x))
+    prob_matrix = xp.diag(h) - xp.outer(h, h)
+    return xp.kron(prob_matrix, xp.outer(x, x))
 
 
 def sum_hessian_dense(
-    X: np.ndarray,
-    H: np.ndarray,
-    weights: Optional[np.ndarray] = None,
-) -> np.ndarray:
+    X: Array,
+    H: Array,
+    weights: Optional[Array] = None,
+) -> Array:
     """Dense weighted Hessian sum ``sum_i w_i H_i`` (Eq. 3).
 
     With ``weights=None`` this is ``H_o`` / ``H_p`` depending on which point
     set is passed; with ``weights=z`` it is ``H_z``.
     """
 
+    backend = get_backend()
     X = check_features(X)
     H = check_probabilities(H, num_classes=None)
     require(X.shape[0] == H.shape[0], "X and H must describe the same points")
-    n, d = X.shape
-    c = H.shape[1]
+    n, d = int(X.shape[0]), int(X.shape[1])
+    c = int(H.shape[1])
     if weights is None:
-        w = np.ones(n, dtype=np.float64)
+        w = backend.ones((n,), dtype=COMPUTE_DTYPE)
     else:
-        w = np.asarray(weights, dtype=np.float64).ravel()
-        require(w.shape == (n,), "weights must have shape (n,)")
+        w = backend.ascompute(weights).ravel()
+        require(tuple(w.shape) == (n,), "weights must have shape (n,)")
 
-    out = np.zeros((d * c, d * c), dtype=np.float64)
+    out = backend.zeros((d * c, d * c), dtype=COMPUTE_DTYPE)
     for i in range(n):
-        if w[i] == 0.0:
+        if float(w[i]) == 0.0:
             continue
         out += w[i] * point_hessian_dense(X[i], H[i])
     return out
 
 
-def point_block_coefficients(H: np.ndarray) -> np.ndarray:
+def point_block_coefficients(H: Array) -> Array:
     """Per-point, per-class rank-one coefficients ``h_i^k (1 - h_i^k)``.
 
     Eq. 15: the ``k``-th diagonal block of ``H_i`` is
@@ -90,15 +92,15 @@ def point_block_coefficients(H: np.ndarray) -> np.ndarray:
     """
 
     H = check_probabilities(H)
-    return (H * (1.0 - H)).astype(np.float64)
+    return get_backend().ascompute(H * (1.0 - H))
 
 
 def block_diagonal_of_sum(
-    X: np.ndarray,
-    H: np.ndarray,
-    weights: Optional[np.ndarray] = None,
+    X: Array,
+    H: Array,
+    weights: Optional[Array] = None,
     *,
-    dtype=np.float64,
+    dtype=COMPUTE_DTYPE,
 ) -> BlockDiagonalMatrix:
     """Block diagonal ``B(sum_i w_i H_i)`` assembled directly (Eq. 14).
 
@@ -109,16 +111,17 @@ def block_diagonal_of_sum(
     at cost ``O(n c d^2)`` — no ``dc x dc`` matrix is ever formed.
     """
 
+    backend = get_backend()
     X = check_features(X)
     H = check_probabilities(H)
     require(X.shape[0] == H.shape[0], "X and H must describe the same points")
-    n = X.shape[0]
+    n = int(X.shape[0])
     coeff = point_block_coefficients(H)
     if weights is not None:
-        w = np.asarray(weights, dtype=np.float64).ravel()
-        require(w.shape == (n,), "weights must have shape (n,)")
+        w = backend.ascompute(weights).ravel()
+        require(tuple(w.shape) == (n,), "weights must have shape (n,)")
         coeff = coeff * w[:, None]
 
-    X64 = X.astype(np.float64)
-    blocks = np.einsum("ik,id,ie->kde", coeff, X64, X64, optimize=True)
-    return BlockDiagonalMatrix(blocks.astype(dtype), copy=False)
+    X64 = backend.ascompute(X)
+    blocks = backend.einsum("ik,id,ie->kde", coeff, X64, X64, optimize=True)
+    return BlockDiagonalMatrix(backend.astype(blocks, dtype), copy=False)

@@ -9,15 +9,22 @@ computed in ``O(dc)`` time and ``O(c)`` extra storage per point instead of the
 ``O(d^2 c^2)`` of a dense matvec (Table III).  Weighted sums over points —
 ``H_p v``, ``H_z v`` and hence ``Sigma_z v = H_o v + H_z v`` — then reduce to
 two einsum contractions over the whole point set (Eq. 13), which is what the
-paper's CuPy implementation evaluates on the GPU.
+paper's CuPy implementation evaluates on the GPU.  All contractions route
+through the active array backend.
+
+The big per-call intermediates (the ``(n, c, s)`` projection tensor and the
+``(c, d, s)`` result) can be reused across calls by passing a
+:class:`~repro.backend.Workspace`: the inner loop of Algorithm 2 evaluates
+these kernels with identical shapes every mirror-descent iteration, and the
+workspace removes the per-iteration allocator churn.  ``tag`` namespaces the
+buffers so distinct call sites (labeled vs pool sums) never alias.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
+from repro.backend import Array, COMPUTE_DTYPE, Workspace, get_backend
 from repro.utils.validation import check_features, check_probabilities, require
 
 __all__ = [
@@ -27,10 +34,10 @@ __all__ = [
 ]
 
 
-def _reshape_probe(V: np.ndarray, d: int, c: int):
+def _reshape_probe(V: Array, d: int, c: int):
     """Reshape ``(dc,)`` or ``(dc, s)`` probes into ``(c, d, s)`` slices."""
 
-    V = np.asarray(V)
+    V = get_backend().xp.asarray(V)
     single = V.ndim == 1
     if single:
         V = V[:, None]
@@ -39,34 +46,38 @@ def _reshape_probe(V: np.ndarray, d: int, c: int):
     return V.reshape(c, d, V.shape[1]), single
 
 
-def single_point_hessian_matvec(x: np.ndarray, h: np.ndarray, v: np.ndarray) -> np.ndarray:
+def single_point_hessian_matvec(x: Array, h: Array, v: Array) -> Array:
     """Evaluate ``H_i v`` for a single point via Lemma 2.
 
     Steps ❶–❹ of the paper: ``gamma = V^T x``, ``alpha = gamma^T h``,
     ``gamma = (gamma - alpha) ⊙ h``, ``H_i v = vec(gamma ⊗ x)``.
     """
 
-    x = np.asarray(x, dtype=np.float64).ravel()
-    h = np.asarray(h, dtype=np.float64).ravel()
-    d, c = x.size, h.size
+    backend = get_backend()
+    x = backend.ascompute(x).ravel()
+    h = backend.ascompute(h).ravel()
+    d, c = int(x.shape[0]), int(h.shape[0])
     Vr, single = _reshape_probe(v, d, c)
-    Vr = Vr.astype(np.float64)
+    Vr = backend.ascompute(Vr)
 
     # gamma[k, s] = x^T v_k^{(s)}
-    gamma = np.einsum("d,kds->ks", x, Vr)
+    gamma = backend.einsum("d,kds->ks", x, Vr)
     # alpha[s] = sum_k gamma[k, s] h[k] = x^T V h
-    alpha = np.einsum("ks,k->s", gamma, h)
+    alpha = backend.einsum("ks,k->s", gamma, h)
     gamma = (gamma - alpha[None, :]) * h[:, None]
-    out = np.einsum("ks,d->kds", gamma, x).reshape(d * c, -1)
+    out = backend.einsum("ks,d->kds", gamma, x).reshape(d * c, -1)
     return out[:, 0] if single else out
 
 
 def hessian_sum_matvec(
-    X: np.ndarray,
-    H: np.ndarray,
-    V: np.ndarray,
-    weights: Optional[np.ndarray] = None,
-) -> np.ndarray:
+    X: Array,
+    H: Array,
+    V: Array,
+    weights: Optional[Array] = None,
+    *,
+    workspace: Optional[Workspace] = None,
+    tag: str = "hsm",
+) -> Array:
     """Evaluate ``(sum_i w_i H_i) V`` matrix-free for one or more probes.
 
     Parameters
@@ -80,45 +91,67 @@ def hessian_sum_matvec(
     weights:
         Optional per-point weights ``w`` (e.g. the relaxed ``z``); ``None``
         means all ones (giving ``H_p V`` or ``H_o V``).
+    workspace:
+        Optional scratch-buffer pool; when given, the ``(n, c, s)``
+        projection tensor and the ``(c, d, s)`` result are written into
+        reused buffers instead of fresh allocations.  **The returned array
+        aliases workspace storage** and is only valid until the next call
+        with the same ``workspace`` and ``tag``.
+    tag:
+        Namespace for the workspace buffers (callers evaluating several
+        distinct sums per step pass distinct tags).
 
     Returns
     -------
-    ndarray with the same shape as ``V``.
+    Array with the same shape as ``V``.
 
     Complexity ``O(n c d s)`` — the CG-dominating cost in Table II/IV.
     """
 
+    backend = get_backend()
     X = check_features(X)
     H = check_probabilities(H)
     require(X.shape[0] == H.shape[0], "X and H must describe the same points")
-    n, d = X.shape
-    c = H.shape[1]
+    n, d = int(X.shape[0]), int(X.shape[1])
+    c = int(H.shape[1])
     Vr, single = _reshape_probe(V, d, c)
+    s = int(Vr.shape[2])
+    v_dtype = backend.xp.asarray(V).dtype
 
-    X64 = X.astype(np.float64)
-    H64 = H.astype(np.float64)
-    Vr = Vr.astype(np.float64)
+    X64 = backend.ascompute(X)
+    H64 = backend.ascompute(H)
+    Vr = backend.ascompute(Vr)
 
+    use_ws = workspace is not None and backend.supports_einsum_out
+    t_out = workspace.get(f"{tag}.t", (n, c, s), COMPUTE_DTYPE) if use_ws else None
     # t[i, k, s] = x_i^T v_k^{(s)}
-    t = np.einsum("id,kds->iks", X64, Vr, optimize=True)
+    t = backend.einsum("id,kds->iks", X64, Vr, optimize=True, out=t_out)
     # a[i, s] = x_i^T V^{(s)} h_i
-    a = np.einsum("iks,ik->is", t, H64, optimize=True)
-    gamma = (t - a[:, None, :]) * H64[:, :, None]
+    a = backend.einsum("iks,ik->is", t, H64, optimize=True)
+    # gamma = (t - a) ⊙ h, computed in place on t (the projection tensor is
+    # not needed afterwards, so the workspace buffer doubles as gamma).
+    gamma = t
+    gamma -= a[:, None, :]
+    gamma *= H64[:, :, None]
     if weights is not None:
-        w = np.asarray(weights, dtype=np.float64).ravel()
-        require(w.shape == (n,), "weights must have shape (n,)")
-        gamma = gamma * w[:, None, None]
-    out = np.einsum("iks,id->kds", gamma, X64, optimize=True).reshape(d * c, -1)
-    out = out.astype(np.asarray(V).dtype, copy=False)
+        w = backend.ascompute(weights).ravel()
+        require(tuple(w.shape) == (n,), "weights must have shape (n,)")
+        gamma *= w[:, None, None]
+    out_buf = workspace.get(f"{tag}.out", (c, d, s), COMPUTE_DTYPE) if use_ws else None
+    out = backend.einsum("iks,id->kds", gamma, X64, optimize=True, out=out_buf)
+    out = backend.astype(out.reshape(d * c, -1), v_dtype)
     return out[:, 0] if single else out
 
 
 def probe_hessian_quadratic_forms(
-    X: np.ndarray,
-    H: np.ndarray,
-    V: np.ndarray,
-    W: np.ndarray,
-) -> np.ndarray:
+    X: Array,
+    H: Array,
+    V: Array,
+    W: Array,
+    *,
+    workspace: Optional[Workspace] = None,
+    tag: str = "phqf",
+) -> Array:
     """Per-point quadratic forms ``v_j^T H_i w_j`` averaged over probes.
 
     Line 9 of Algorithm 2 estimates every gradient entry as
@@ -131,27 +164,31 @@ def probe_hessian_quadratic_forms(
 
     Returns
     -------
-    ndarray of shape ``(n,)`` holding ``(1/s) sum_j v_j^T H_i w_j`` — i.e. the
+    Array of shape ``(n,)`` holding ``(1/s) sum_j v_j^T H_i w_j`` — i.e. the
     *negated* gradient estimate.
     """
 
+    backend = get_backend()
     X = check_features(X)
     H = check_probabilities(H)
-    n, d = X.shape
-    c = H.shape[1]
+    n, d = int(X.shape[0]), int(X.shape[1])
+    c = int(H.shape[1])
     Vr, _ = _reshape_probe(V, d, c)
     Wr, _ = _reshape_probe(W, d, c)
-    require(Vr.shape == Wr.shape, "V and W must have the same shape")
-    s = Vr.shape[2]
+    require(tuple(Vr.shape) == tuple(Wr.shape), "V and W must have the same shape")
+    s = int(Vr.shape[2])
 
-    X64 = X.astype(np.float64)
-    H64 = H.astype(np.float64)
-    tv = np.einsum("id,kds->iks", X64, Vr.astype(np.float64), optimize=True)
-    tw = np.einsum("id,kds->iks", X64, Wr.astype(np.float64), optimize=True)
+    X64 = backend.ascompute(X)
+    H64 = backend.ascompute(H)
+    use_ws = workspace is not None and backend.supports_einsum_out
+    tv_out = workspace.get(f"{tag}.tv", (n, c, s), COMPUTE_DTYPE) if use_ws else None
+    tw_out = workspace.get(f"{tag}.tw", (n, c, s), COMPUTE_DTYPE) if use_ws else None
+    tv = backend.einsum("id,kds->iks", X64, backend.ascompute(Vr), optimize=True, out=tv_out)
+    tw = backend.einsum("id,kds->iks", X64, backend.ascompute(Wr), optimize=True, out=tw_out)
     # sum_k h_k (x^T v_k)(x^T w_k)
-    term1 = np.einsum("ik,iks,iks->is", H64, tv, tw, optimize=True)
+    term1 = backend.einsum("ik,iks,iks->is", H64, tv, tw, optimize=True)
     # (x^T V h)(x^T W h)
-    av = np.einsum("iks,ik->is", tv, H64, optimize=True)
-    aw = np.einsum("iks,ik->is", tw, H64, optimize=True)
+    av = backend.einsum("iks,ik->is", tv, H64, optimize=True)
+    aw = backend.einsum("iks,ik->is", tw, H64, optimize=True)
     per_probe = term1 - av * aw
-    return per_probe.sum(axis=1) / float(s)
+    return backend.xp.sum(per_probe, axis=1) / float(s)

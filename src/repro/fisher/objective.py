@@ -15,11 +15,10 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
+from repro.backend import Array, get_backend
 from repro.fisher.operators import FisherDataset, SigmaOperator
 from repro.linalg.cg import conjugate_gradient
-from repro.utils.random import as_generator, rademacher
+from repro.utils.random import as_generator
 from repro.utils.validation import require
 
 __all__ = ["fisher_ratio_objective", "fisher_ratio_objective_estimate"]
@@ -27,7 +26,7 @@ __all__ = ["fisher_ratio_objective", "fisher_ratio_objective_estimate"]
 
 def fisher_ratio_objective(
     dataset: FisherDataset,
-    z: np.ndarray,
+    z: Array,
     *,
     regularization: float = 0.0,
 ) -> float:
@@ -38,26 +37,28 @@ def fisher_ratio_objective(
     Caltech-101 or ImageNet-1k).
     """
 
-    z = np.asarray(z, dtype=np.float64).ravel()
-    require(z.shape == (dataset.num_pool,), "z must have one weight per pool point")
+    backend = get_backend()
+    xp = backend.xp
+    z = backend.ascompute(z).ravel()
+    require(tuple(z.shape) == (dataset.num_pool,), "z must have one weight per pool point")
     sigma = dataset.sigma_dense(z)
     if regularization > 0.0:
-        sigma = sigma + regularization * np.eye(sigma.shape[0])
+        sigma = sigma + regularization * backend.eye(int(sigma.shape[0]), dtype=sigma.dtype)
     pool = dataset.pool_hessian_dense()
-    solved = np.linalg.solve(sigma, pool)
-    return float(np.trace(solved))
+    solved = backend.solve(sigma, pool)
+    return float(xp.trace(solved))
 
 
 def fisher_ratio_objective_estimate(
     dataset: FisherDataset,
-    z: np.ndarray,
+    z: Array,
     *,
     num_probes: int = 10,
     cg_tolerance: float = 0.01,
     max_cg_iterations: int = 500,
     regularization: float = 0.0,
     rng=None,
-    probes: Optional[np.ndarray] = None,
+    probes: Optional[Array] = None,
 ) -> float:
     """Estimate ``f(z)`` with Hutchinson probes and preconditioned CG.
 
@@ -66,15 +67,16 @@ def fisher_ratio_objective_estimate(
     """
 
     require(num_probes > 0, "num_probes must be positive")
-    z = np.asarray(z, dtype=np.float64).ravel()
-    require(z.shape == (dataset.num_pool,), "z must have one weight per pool point")
+    backend = get_backend()
+    z = backend.ascompute(z).ravel()
+    require(tuple(z.shape) == (dataset.num_pool,), "z must have one weight per pool point")
 
     dim = dataset.joint_dimension
     if probes is None:
-        probes = rademacher((dim, num_probes), rng=as_generator(rng), dtype=np.float64)
+        probes = backend.rademacher((dim, num_probes), rng=as_generator(rng))
     else:
-        probes = np.asarray(probes, dtype=np.float64)
-        require(probes.shape == (dim, num_probes), "probes must have shape (dc, s)")
+        probes = backend.ascompute(probes)
+        require(tuple(probes.shape) == (dim, num_probes), "probes must have shape (dc, s)")
 
     operator = SigmaOperator(dataset, z, regularization=regularization)
     hp_probes = dataset.pool_hessian_matvec(probes)
@@ -86,5 +88,5 @@ def fisher_ratio_objective_estimate(
         max_iterations=max_cg_iterations,
         record_history=False,
     )
-    per_probe = np.einsum("ij,ij->j", probes, result.solution.astype(np.float64))
+    per_probe = backend.einsum("ij,ij->j", probes, backend.ascompute(result.solution))
     return float(per_probe.mean())

@@ -7,7 +7,9 @@ and exposes both dense (Exact-FIRAL) and matrix-free (Approx-FIRAL) views of
 
 :class:`SigmaOperator` freezes a particular weight vector ``z`` and provides
 the matvec + block-diagonal preconditioner pair that the preconditioned CG
-solves of Algorithm 2 require.
+solves of Algorithm 2 require.  An optional :class:`~repro.backend.Workspace`
+lets the operator reuse the Lemma-2 einsum buffers across CG iterations and
+mirror-descent steps.
 """
 
 from __future__ import annotations
@@ -15,8 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
-
+from repro.backend import Array, Workspace, get_backend
 from repro.fisher.hessian import block_diagonal_of_sum, sum_hessian_dense
 from repro.fisher.matvec import hessian_sum_matvec
 from repro.linalg.block_diag import BlockDiagonalMatrix
@@ -42,10 +43,10 @@ class FisherDataset:
         ``h_i`` for the labeled points, shape ``(m, c)``.
     """
 
-    pool_features: np.ndarray
-    pool_probabilities: np.ndarray
-    labeled_features: np.ndarray
-    labeled_probabilities: np.ndarray
+    pool_features: Array
+    pool_probabilities: Array
+    labeled_features: Array
+    labeled_probabilities: Array
 
     def __post_init__(self) -> None:
         self.pool_features = check_features(self.pool_features, "pool_features")
@@ -99,20 +100,35 @@ class FisherDataset:
     # ------------------------------------------------------------------ #
     # matrix-free matvecs
     # ------------------------------------------------------------------ #
-    def labeled_hessian_matvec(self, V: np.ndarray) -> np.ndarray:
+    def labeled_hessian_matvec(self, V: Array, *, workspace: Optional[Workspace] = None) -> Array:
         """``H_o V`` via Lemma 2."""
 
-        return hessian_sum_matvec(self.labeled_features, self.labeled_probabilities, V)
+        return hessian_sum_matvec(
+            self.labeled_features, self.labeled_probabilities, V,
+            workspace=workspace, tag="labeled",
+        )
 
-    def pool_hessian_matvec(self, V: np.ndarray, weights: Optional[np.ndarray] = None) -> np.ndarray:
+    def pool_hessian_matvec(
+        self,
+        V: Array,
+        weights: Optional[Array] = None,
+        *,
+        workspace: Optional[Workspace] = None,
+        tag: str = "pool",
+    ) -> Array:
         """``H_p V`` (``weights=None``) or ``H_z V`` (``weights=z``) via Lemma 2."""
 
-        return hessian_sum_matvec(self.pool_features, self.pool_probabilities, V, weights=weights)
+        return hessian_sum_matvec(
+            self.pool_features, self.pool_probabilities, V, weights=weights,
+            workspace=workspace, tag=tag,
+        )
 
-    def sigma_matvec(self, V: np.ndarray, z: np.ndarray) -> np.ndarray:
+    def sigma_matvec(self, V: Array, z: Array, *, workspace: Optional[Workspace] = None) -> Array:
         """``Sigma_z V = H_o V + H_z V``."""
 
-        return self.labeled_hessian_matvec(V) + self.pool_hessian_matvec(V, weights=z)
+        return self.labeled_hessian_matvec(V, workspace=workspace) + self.pool_hessian_matvec(
+            V, weights=z, workspace=workspace, tag="sigma_pool"
+        )
 
     # ------------------------------------------------------------------ #
     # block diagonals
@@ -122,12 +138,12 @@ class FisherDataset:
 
         return block_diagonal_of_sum(self.labeled_features, self.labeled_probabilities)
 
-    def pool_block_diagonal(self, weights: Optional[np.ndarray] = None) -> BlockDiagonalMatrix:
+    def pool_block_diagonal(self, weights: Optional[Array] = None) -> BlockDiagonalMatrix:
         """``B(H_p)`` or ``B(H_z)`` assembled directly."""
 
         return block_diagonal_of_sum(self.pool_features, self.pool_probabilities, weights=weights)
 
-    def sigma_block_diagonal(self, z: np.ndarray) -> BlockDiagonalMatrix:
+    def sigma_block_diagonal(self, z: Array) -> BlockDiagonalMatrix:
         """``B(Sigma_z)`` — the CG preconditioner of Algorithm 2 (Line 5)."""
 
         return self.labeled_block_diagonal() + self.pool_block_diagonal(weights=z)
@@ -135,17 +151,17 @@ class FisherDataset:
     # ------------------------------------------------------------------ #
     # dense views (Exact-FIRAL / tests only)
     # ------------------------------------------------------------------ #
-    def labeled_hessian_dense(self) -> np.ndarray:
+    def labeled_hessian_dense(self) -> Array:
         """Dense ``H_o`` (``dc x dc``)."""
 
         return sum_hessian_dense(self.labeled_features, self.labeled_probabilities)
 
-    def pool_hessian_dense(self, weights: Optional[np.ndarray] = None) -> np.ndarray:
+    def pool_hessian_dense(self, weights: Optional[Array] = None) -> Array:
         """Dense ``H_p`` / ``H_z``."""
 
         return sum_hessian_dense(self.pool_features, self.pool_probabilities, weights=weights)
 
-    def sigma_dense(self, z: np.ndarray) -> np.ndarray:
+    def sigma_dense(self, z: Array) -> Array:
         """Dense ``Sigma_z``."""
 
         return self.labeled_hessian_dense() + self.pool_hessian_dense(weights=z)
@@ -158,24 +174,29 @@ class SigmaOperator:
     Algorithm 2 (Lines 6 and 8) tidy: ``Sigma_z`` changes every mirror-descent
     iteration because ``z`` changes, so the operator is rebuilt per iteration
     (the preconditioner assembly cost is the ``O(n c d^2 / p + c d^3)`` term
-    of Table IV).
+    of Table IV).  Passing the same ``workspace`` to successive operators
+    lets the rebuilt operator reuse the previous iteration's einsum buffers.
     """
 
     def __init__(
         self,
         dataset: FisherDataset,
-        z: np.ndarray,
+        z: Array,
         *,
         regularization: float = 0.0,
         build_preconditioner: bool = True,
+        workspace: Optional[Workspace] = None,
     ):
-        z = np.asarray(z, dtype=np.float64).ravel()
-        require(z.shape == (dataset.num_pool,), "z must have one weight per pool point")
-        require(bool(np.all(z >= -1e-12)), "z must be non-negative")
+        backend = get_backend()
+        xp = backend.xp
+        z = backend.ascompute(z).ravel()
+        require(tuple(z.shape) == (dataset.num_pool,), "z must have one weight per pool point")
+        require(bool(xp.all(z >= -1e-12)), "z must be non-negative")
         require(regularization >= 0.0, "regularization must be non-negative")
         self.dataset = dataset
         self.z = z
         self.regularization = float(regularization)
+        self.workspace = workspace
         self.block_diagonal: Optional[BlockDiagonalMatrix] = None
         self.block_diagonal_inverse: Optional[BlockDiagonalMatrix] = None
         if build_preconditioner:
@@ -190,27 +211,28 @@ class SigmaOperator:
         dim = self.dataset.joint_dimension
         return (dim, dim)
 
-    def matvec(self, V: np.ndarray) -> np.ndarray:
+    def matvec(self, V: Array) -> Array:
         """``Sigma_z V`` (plus ``reg * V`` if a Tikhonov term is configured)."""
 
-        out = self.dataset.sigma_matvec(V, self.z)
+        out = self.dataset.sigma_matvec(V, self.z, workspace=self.workspace)
         if self.regularization > 0.0:
-            out = out + self.regularization * np.asarray(V)
+            out = out + self.regularization * get_backend().xp.asarray(V)
         return out
 
     __call__ = matvec
 
-    def precondition(self, V: np.ndarray) -> np.ndarray:
+    def precondition(self, V: Array) -> Array:
         """Apply ``B(Sigma_z)^{-1}`` to ``V`` (identity if not built)."""
 
         if self.block_diagonal_inverse is None:
-            return np.asarray(V).copy()
+            return get_backend().copy(V)
         return self.block_diagonal_inverse.matvec(V)
 
-    def dense(self) -> np.ndarray:
+    def dense(self) -> Array:
         """Dense ``Sigma_z`` for validation (small problems only)."""
 
+        backend = get_backend()
         mat = self.dataset.sigma_dense(self.z)
         if self.regularization > 0.0:
-            mat = mat + self.regularization * np.eye(mat.shape[0])
+            mat = mat + self.regularization * backend.eye(int(mat.shape[0]), dtype=mat.dtype)
         return mat

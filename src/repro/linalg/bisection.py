@@ -13,10 +13,10 @@ Algorithm 3, using the block-diagonal eigenvalues) solve it by bisection.
 
 from __future__ import annotations
 
+import math
 from typing import Callable
 
-import numpy as np
-
+from repro.backend import Array, get_backend
 from repro.utils.validation import require
 
 __all__ = ["bisect_scalar", "find_ftrl_nu"]
@@ -57,7 +57,7 @@ def bisect_scalar(
 
 
 def find_ftrl_nu(
-    eigenvalues: np.ndarray,
+    eigenvalues: Array,
     *,
     tolerance: float = 1e-10,
     max_iterations: int = 200,
@@ -81,22 +81,23 @@ def find_ftrl_nu(
         matching the paper's initialization ``A_1 = sqrt(dc) I``.
     """
 
-    lam = np.asarray(eigenvalues, dtype=np.float64).ravel()
-    require(lam.size > 0, "eigenvalues must be non-empty")
+    backend = get_backend()
+    xp = backend.xp
+    lam = backend.ascompute(eigenvalues).ravel()
+    m = int(lam.shape[0])
+    require(m > 0, "eigenvalues must be non-empty")
     # Clip tiny negative eigenvalues coming from finite-precision eigensolves.
     # The tolerance is relative to the spectral scale: PSD matrices scaled by a
     # large eta produce round-off of the order eps * lam.max().
-    scale = max(1.0, float(np.abs(lam).max()))
+    scale = max(1.0, float(xp.abs(lam).max()))
     require(
-        bool(np.all(lam > -1e-7 * scale)),
+        bool(xp.all(lam > -1e-7 * scale)),
         "eigenvalues must be non-negative (PSD matrix expected)",
     )
-    lam = np.clip(lam, 0.0, None)
-
-    m = lam.size
+    lam = xp.clip(lam, 0.0, None)
 
     def phi_minus_one(nu: float) -> float:
-        return float(np.sum(1.0 / (nu + lam) ** 2) - 1.0)
+        return float(xp.sum(1.0 / (nu + lam) ** 2) - 1.0)
 
     # Bracket: at nu -> max(0, eps) phi >= m / (eps + max(lam))^2 can be < 1 if
     # eigenvalues are large, so the lower bound must make phi >= 1.  Using
@@ -104,7 +105,7 @@ def find_ftrl_nu(
     # phi(nu_low) >= ... >= 1 when nu_low is small enough; otherwise the root
     # is negative-shifted and we extend the bracket downwards but keep
     # nu + lambda_j > 0.
-    nu_high = float(np.sqrt(m) + lam.max() + 1.0)
+    nu_high = float(math.sqrt(m) + float(lam.max()) + 1.0)
     while phi_minus_one(nu_high) > 0.0:
         nu_high *= 2.0
 

@@ -6,19 +6,21 @@ the CG preconditioner of the fast RELAX step and every matrix appearing in
 the diagonal ROUND step (Algorithm 3) are of this form, so the class below is
 the workhorse data structure of Approx-FIRAL.
 
-Storage is a single ``(c, d, d)`` array; all operations (matvec, inverse,
-Cholesky-based solves, eigenvalues, quadratic forms) are batched over the
-class axis with ``numpy.einsum`` / stacked LAPACK calls, mirroring the
-``cupy.einsum`` / ``cupy.linalg`` batching described in § III-C.
+Storage is a single ``(c, d, d)`` array on the active array backend; all
+operations (matvec, inverse, Cholesky-based solves, eigenvalues, quadratic
+forms) are batched over the class axis with backend ``einsum`` / stacked
+batched-linalg calls, mirroring the ``cupy.einsum`` / ``cupy.linalg``
+batching described in § III-C.  Numerically delicate routines (inverse,
+Cholesky, eigensolves, solves) go through the backend's promoted linear
+algebra, which applies the library-wide float64 compute policy and casts
+back to the storage dtype.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Optional
 
-import numpy as np
-
-from repro.backend import default_dtype
+from repro.backend import Array, default_dtype, get_backend
 from repro.utils.validation import check_square_blocks, require
 
 __all__ = ["BlockDiagonalMatrix"]
@@ -37,9 +39,9 @@ class BlockDiagonalMatrix:
         Whether to copy the input array (default ``True``).
     """
 
-    def __init__(self, blocks: np.ndarray, *, copy: bool = True):
+    def __init__(self, blocks: Array, *, copy: bool = True):
         arr = check_square_blocks(blocks)
-        self.blocks = np.array(arr, copy=copy)
+        self.blocks = get_backend().copy(arr) if copy else arr
         self.num_blocks = int(arr.shape[0])
         self.block_size = int(arr.shape[1])
 
@@ -52,19 +54,23 @@ class BlockDiagonalMatrix:
 
         require(num_blocks > 0, "num_blocks must be positive")
         require(block_size > 0, "block_size must be positive")
-        dt = np.dtype(dtype) if dtype is not None else default_dtype()
-        eye = np.eye(block_size, dtype=dt) * dt.type(scale)
-        return cls(np.broadcast_to(eye, (num_blocks, block_size, block_size)).copy(), copy=False)
+        backend = get_backend()
+        xp = backend.xp
+        eye = backend.eye(block_size, dtype=dtype if dtype is not None else default_dtype())
+        eye = eye * scale
+        blocks = backend.copy(xp.broadcast_to(eye, (num_blocks, block_size, block_size)))
+        return cls(blocks, copy=False)
 
     @classmethod
     def zeros(cls, num_blocks: int, block_size: int, dtype=None) -> "BlockDiagonalMatrix":
         """Return the zero matrix with the given block structure."""
 
-        dt = np.dtype(dtype) if dtype is not None else default_dtype()
-        return cls(np.zeros((num_blocks, block_size, block_size), dtype=dt), copy=False)
+        backend = get_backend()
+        dt = dtype if dtype is not None else default_dtype()
+        return cls(backend.zeros((num_blocks, block_size, block_size), dtype=dt), copy=False)
 
     @classmethod
-    def from_dense(cls, dense: np.ndarray, num_blocks: int) -> "BlockDiagonalMatrix":
+    def from_dense(cls, dense: Array, num_blocks: int) -> "BlockDiagonalMatrix":
         """Extract the block diagonal ``B(H)`` of a dense ``dc x dc`` matrix.
 
         This is the literal Definition 1 of the paper and is used in tests to
@@ -72,12 +78,13 @@ class BlockDiagonalMatrix:
         Hessian sum.
         """
 
-        dense = np.asarray(dense)
+        xp = get_backend().xp
+        dense = xp.asarray(dense)
         require(dense.ndim == 2 and dense.shape[0] == dense.shape[1], "dense must be square")
         dim = dense.shape[0]
         require(dim % num_blocks == 0, f"matrix dim {dim} not divisible by num_blocks {num_blocks}")
         d = dim // num_blocks
-        blocks = np.empty((num_blocks, d, d), dtype=dense.dtype)
+        blocks = xp.empty((num_blocks, d, d), dtype=dense.dtype)
         for k in range(num_blocks):
             sl = slice(k * d, (k + 1) * d)
             blocks[k] = dense[sl, sl]
@@ -92,20 +99,21 @@ class BlockDiagonalMatrix:
         return (dim, dim)
 
     @property
-    def dtype(self) -> np.dtype:
+    def dtype(self):
         return self.blocks.dtype
 
     def copy(self) -> "BlockDiagonalMatrix":
         return BlockDiagonalMatrix(self.blocks, copy=True)
 
     def astype(self, dtype) -> "BlockDiagonalMatrix":
-        return BlockDiagonalMatrix(self.blocks.astype(dtype), copy=False)
+        return BlockDiagonalMatrix(get_backend().astype(self.blocks, dtype), copy=False)
 
-    def to_dense(self) -> np.ndarray:
+    def to_dense(self) -> Array:
         """Materialize the full ``dc x dc`` matrix (test/diagnostic use only)."""
 
+        xp = get_backend().xp
         dim = self.num_blocks * self.block_size
-        out = np.zeros((dim, dim), dtype=self.blocks.dtype)
+        out = xp.zeros((dim, dim), dtype=self.blocks.dtype)
         d = self.block_size
         for k in range(self.num_blocks):
             sl = slice(k * d, (k + 1) * d)
@@ -115,7 +123,8 @@ class BlockDiagonalMatrix:
     def symmetrize(self) -> "BlockDiagonalMatrix":
         """Return ``(A + A^T) / 2`` applied block-wise."""
 
-        sym = 0.5 * (self.blocks + np.transpose(self.blocks, (0, 2, 1)))
+        backend = get_backend()
+        sym = 0.5 * (self.blocks + backend.transpose_last(self.blocks))
         return BlockDiagonalMatrix(sym, copy=False)
 
     # ------------------------------------------------------------------ #
@@ -143,16 +152,18 @@ class BlockDiagonalMatrix:
     def add_identity(self, scale: float) -> "BlockDiagonalMatrix":
         """Return ``self + scale * I``."""
 
-        out = self.blocks.copy()
-        idx = np.arange(self.block_size)
-        out[:, idx, idx] += self.dtype.type(scale)
+        backend = get_backend()
+        out = backend.copy(self.blocks)
+        idx = backend.xp.arange(self.block_size)
+        out[:, idx, idx] += scale
         return BlockDiagonalMatrix(out, copy=False)
 
     def matmul(self, other: "BlockDiagonalMatrix") -> "BlockDiagonalMatrix":
         """Block-wise matrix product ``self @ other``."""
 
         self._check_compatible(other)
-        return BlockDiagonalMatrix(np.einsum("kij,kjl->kil", self.blocks, other.blocks), copy=False)
+        product = get_backend().einsum("kij,kjl->kil", self.blocks, other.blocks)
+        return BlockDiagonalMatrix(product, copy=False)
 
     def _check_compatible(self, other: "BlockDiagonalMatrix") -> None:
         require(isinstance(other, BlockDiagonalMatrix), "operand must be a BlockDiagonalMatrix")
@@ -164,10 +175,10 @@ class BlockDiagonalMatrix:
     # ------------------------------------------------------------------ #
     # matvec / solves
     # ------------------------------------------------------------------ #
-    def _reshape_vec(self, v: np.ndarray) -> tuple:
+    def _reshape_vec(self, v: Array) -> tuple:
         """Reshape ``(dc,)`` or ``(dc, s)`` input into ``(c, d, s)``."""
 
-        v = np.asarray(v)
+        v = get_backend().xp.asarray(v)
         dim = self.num_blocks * self.block_size
         single = v.ndim == 1
         if single:
@@ -175,39 +186,40 @@ class BlockDiagonalMatrix:
         require(v.shape[0] == dim, f"vector length {v.shape[0]} != matrix dim {dim}")
         return v.reshape(self.num_blocks, self.block_size, v.shape[1]), single
 
-    def matvec(self, v: np.ndarray) -> np.ndarray:
+    def matvec(self, v: Array) -> Array:
         """Compute ``A @ v`` for ``v`` of shape ``(dc,)`` or ``(dc, s)``."""
 
         vb, single = self._reshape_vec(v)
-        out = np.einsum("kij,kjs->kis", self.blocks, vb)
+        out = get_backend().einsum("kij,kjs->kis", self.blocks, vb)
         out = out.reshape(self.num_blocks * self.block_size, -1)
         return out[:, 0] if single else out
 
     __matmul__ = matvec
 
-    def solve(self, v: np.ndarray) -> np.ndarray:
-        """Solve ``A x = v`` block-by-block using batched LAPACK."""
+    def solve(self, v: Array) -> Array:
+        """Solve ``A x = v`` block-by-block via the backend's promoted solve."""
 
         vb, single = self._reshape_vec(v)
-        sol = np.linalg.solve(self.blocks.astype(np.float64), vb.astype(np.float64))
-        sol = sol.reshape(self.num_blocks * self.block_size, -1).astype(self.dtype)
+        sol = get_backend().solve(self.blocks, vb, out_dtype=self.dtype)
+        sol = sol.reshape(self.num_blocks * self.block_size, -1)
         return sol[:, 0] if single else sol
 
     def inverse(self) -> "BlockDiagonalMatrix":
         """Return the block-wise inverse ``A^{-1}``.
 
-        This is the ``cupy.linalg.inv`` call in Line 5 of Algorithm 2 and
-        Lines 4/11 of Algorithm 3.  The inverse is computed in float64 and
-        cast back to the storage dtype for robustness in single precision.
+        This is the batched ``linalg.inv`` call in Line 5 of Algorithm 2 and
+        Lines 4/11 of Algorithm 3.  The inverse is computed in float64 (the
+        backend's compute dtype) and cast back to the storage dtype for
+        robustness in single precision.
         """
 
-        inv = np.linalg.inv(self.blocks.astype(np.float64)).astype(self.dtype)
+        inv = get_backend().inv(self.blocks, out_dtype=self.dtype)
         return BlockDiagonalMatrix(inv, copy=False)
 
     def cholesky(self) -> "BlockDiagonalMatrix":
         """Return the block-wise lower Cholesky factor (requires SPD blocks)."""
 
-        chol = np.linalg.cholesky(self.blocks.astype(np.float64)).astype(self.dtype)
+        chol = get_backend().cholesky(self.blocks, out_dtype=self.dtype)
         return BlockDiagonalMatrix(chol, copy=False)
 
     def sqrt(self) -> "BlockDiagonalMatrix":
@@ -217,24 +229,27 @@ class BlockDiagonalMatrix:
         with ``Sigma_*^{1/2} A_t Sigma_*^{1/2}``.
         """
 
-        w, V = np.linalg.eigh(self.blocks.astype(np.float64))
-        require(bool(np.all(w > -1e-10)), "matrix must be PSD for sqrt")
-        w = np.clip(w, 0.0, None)
-        sqrt_blocks = np.einsum("kij,kj,klj->kil", V, np.sqrt(w), V)
-        return BlockDiagonalMatrix(sqrt_blocks.astype(self.dtype), copy=False)
+        backend = get_backend()
+        xp = backend.xp
+        w, V = backend.eigh(self.blocks)
+        require(bool(xp.all(w > -1e-10)), "matrix must be PSD for sqrt")
+        w = xp.clip(w, 0.0, None)
+        sqrt_blocks = backend.einsum("kij,kj,klj->kil", V, xp.sqrt(w), V)
+        return BlockDiagonalMatrix(backend.demote(sqrt_blocks, self.dtype), copy=False)
 
     # ------------------------------------------------------------------ #
     # spectra / scalar reductions
     # ------------------------------------------------------------------ #
-    def eigenvalues(self) -> np.ndarray:
+    def eigenvalues(self) -> Array:
         """Eigenvalues of every block, shape ``(c, d)`` (ascending per block).
 
         Mirrors the batched ``cupy.linalg.eigvalsh`` call of Line 9 in
         Algorithm 3.
         """
 
-        sym = 0.5 * (self.blocks + np.transpose(self.blocks, (0, 2, 1)))
-        return np.linalg.eigvalsh(sym.astype(np.float64))
+        backend = get_backend()
+        sym = 0.5 * (self.blocks + backend.transpose_last(self.blocks))
+        return backend.eigvalsh(sym)
 
     def min_eigenvalue(self) -> float:
         """Smallest eigenvalue over all blocks (used by the η selection rule)."""
@@ -244,9 +259,10 @@ class BlockDiagonalMatrix:
     def trace(self) -> float:
         """Trace of the full matrix (sum of block traces)."""
 
-        return float(np.einsum("kii->", self.blocks.astype(np.float64)))
+        backend = get_backend()
+        return float(backend.einsum("kii->", backend.ascompute(self.blocks)))
 
-    def quadratic_form(self, X: np.ndarray) -> np.ndarray:
+    def quadratic_form(self, X: Array) -> Array:
         """Batched quadratic forms ``x_i^T A_k x_i`` for every point and block.
 
         Parameters
@@ -256,16 +272,17 @@ class BlockDiagonalMatrix:
 
         Returns
         -------
-        ndarray of shape ``(n, c)`` with entry ``[i, k] = x_i^T A_k x_i``.
+        Array of shape ``(n, c)`` with entry ``[i, k] = x_i^T A_k x_i``.
         This is the core einsum of the ROUND objective (Eq. 17).
         """
 
-        X = np.asarray(X)
+        backend = get_backend()
+        X = backend.xp.asarray(X)
         require(X.ndim == 2 and X.shape[1] == self.block_size, "X must have shape (n, d)")
         # (n, c, d) intermediate avoided: contract in one einsum call
-        return np.einsum("nd,kde,ne->nk", X, self.blocks, X, optimize=True)
+        return backend.einsum("nd,kde,ne->nk", X, self.blocks, X, optimize=True)
 
-    def bilinear_form(self, X: np.ndarray, other: "BlockDiagonalMatrix") -> np.ndarray:
+    def bilinear_form(self, X: Array, other: "BlockDiagonalMatrix") -> Array:
         """Batched forms ``x_i^T A_k M_k A_k x_i`` with ``M = other``.
 
         The ROUND objective of Proposition 4 needs
@@ -274,11 +291,12 @@ class BlockDiagonalMatrix:
         """
 
         self._check_compatible(other)
-        X = np.asarray(X)
+        backend = get_backend()
+        X = backend.xp.asarray(X)
         require(X.ndim == 2 and X.shape[1] == self.block_size, "X must have shape (n, d)")
         # y_{n,k,d} = A_k x_n; result = y^T M y
-        Y = np.einsum("kde,ne->nkd", self.blocks, X, optimize=True)
-        return np.einsum("nkd,kde,nke->nk", Y, other.blocks, Y, optimize=True)
+        Y = backend.einsum("kde,ne->nkd", self.blocks, X, optimize=True)
+        return backend.einsum("nkd,kde,nke->nk", Y, other.blocks, Y, optimize=True)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -11,6 +11,12 @@ The implementation below solves all ``s`` right-hand sides simultaneously
 sizes, and columns that have converged are frozen.  This matches the paper's
 implementation strategy, where the matvec cost is amortized over the probe
 vectors (Table II lists the CG term as ``n_CG * s`` matvecs).
+
+All arithmetic goes through the active array backend.  The iteration runs in
+the backend's compute dtype (float64 per the § III-C policy) and the search
+direction / iterate updates are performed in place, so a solve allocates a
+fixed set of ``(dim, s)`` work arrays up front instead of reallocating them
+every iteration.
 """
 
 from __future__ import annotations
@@ -18,13 +24,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
-import numpy as np
-
+from repro.backend import Array, get_backend
 from repro.utils.validation import require
 
 __all__ = ["CGResult", "conjugate_gradient"]
 
-MatVec = Callable[[np.ndarray], np.ndarray]
+MatVec = Callable[[Array], Array]
 
 
 @dataclass
@@ -46,19 +51,19 @@ class CGResult:
         series plotted in Fig. 1 of the paper.
     """
 
-    solution: np.ndarray
+    solution: Array
     iterations: int
     converged: bool
-    residual_norms: np.ndarray
+    residual_norms: Array
     residual_history: List[float] = field(default_factory=list)
 
 
 def conjugate_gradient(
     matvec: MatVec,
-    rhs: np.ndarray,
+    rhs: Array,
     *,
     preconditioner: Optional[MatVec] = None,
-    x0: Optional[np.ndarray] = None,
+    x0: Optional[Array] = None,
     rtol: float = 0.1,
     atol: float = 0.0,
     max_iterations: int = 1000,
@@ -97,75 +102,87 @@ def conjugate_gradient(
     require(rtol >= 0.0 and atol >= 0.0, "tolerances must be non-negative")
     require(max_iterations >= 0, "max_iterations must be non-negative")
 
-    b = np.asarray(rhs)
+    backend = get_backend()
+    xp = backend.xp
+
+    b = xp.asarray(rhs)
     single = b.ndim == 1
     if single:
         b = b[:, None]
     require(b.ndim == 2, "rhs must be 1-D or 2-D")
-    dim, num_rhs = b.shape
+    dim, num_rhs = int(b.shape[0]), int(b.shape[1])
+    rhs_dtype = b.dtype
 
-    work_dtype = np.float64  # iterate in double; cast the solution back
-    b64 = b.astype(work_dtype)
+    # Iterate in the compute dtype (float64); cast the solution back at the end.
+    b64 = backend.ascompute(b)
 
     if x0 is None:
-        x = np.zeros_like(b64)
-        r = b64.copy()
+        x = xp.zeros_like(b64)
+        r = backend.copy(b64)
     else:
-        x0a = np.asarray(x0)
+        x0a = xp.asarray(x0)
         if x0a.ndim == 1:
             x0a = x0a[:, None]
-        require(x0a.shape == b.shape, "x0 must match rhs shape")
-        x = x0a.astype(work_dtype).copy()
-        r = b64 - np.asarray(matvec(x.astype(b.dtype))).reshape(dim, num_rhs).astype(work_dtype)
+        require(tuple(x0a.shape) == tuple(b.shape), "x0 must match rhs shape")
+        x = backend.copy(backend.ascompute(x0a))
+        r = b64 - backend.ascompute(
+            xp.asarray(matvec(backend.astype(x, rhs_dtype))).reshape(dim, num_rhs)
+        )
 
-    def apply_precond(res: np.ndarray) -> np.ndarray:
+    def apply_precond(res: Array) -> Array:
         if preconditioner is None:
-            return res.copy()
-        out = np.asarray(preconditioner(res.astype(b.dtype)))
-        return out.reshape(dim, num_rhs).astype(work_dtype)
+            # No copy: callers below never mutate z, and r is rebuilt in place
+            # before z is recomputed, so aliasing the residual is safe.
+            return res
+        out = xp.asarray(preconditioner(backend.astype(res, rhs_dtype)))
+        return backend.ascompute(out.reshape(dim, num_rhs))
 
-    b_norm = np.linalg.norm(b64, axis=0)
+    b_norm = backend.norm(b64, axis=0)
     # Columns with a zero RHS are trivially solved by x = 0.
-    safe_b_norm = np.where(b_norm > 0, b_norm, 1.0)
-    tol = np.maximum(rtol * b_norm, atol)
+    safe_b_norm = xp.where(b_norm > 0, b_norm, 1.0)
+    tol = xp.maximum(rtol * b_norm, atol)
 
     z = apply_precond(r)
-    p = z.copy()
-    rz = np.einsum("ij,ij->j", r, z)
+    p = backend.copy(z)
+    rz = backend.einsum("ij,ij->j", r, z)
 
     history: List[float] = []
-    rel_res = np.linalg.norm(r, axis=0) / safe_b_norm
+    rel_res = backend.norm(r, axis=0) / safe_b_norm
     if record_history:
         history.append(float(rel_res.max()))
 
-    active = np.linalg.norm(r, axis=0) > tol
+    active = backend.norm(r, axis=0) > tol
     iterations = 0
     for iterations in range(1, max_iterations + 1):
         if not bool(active.any()):
             iterations -= 1
             break
-        Ap = np.asarray(matvec(p.astype(b.dtype))).reshape(dim, num_rhs).astype(work_dtype)
-        pAp = np.einsum("ij,ij->j", p, Ap)
+        Ap = backend.ascompute(
+            xp.asarray(matvec(backend.astype(p, rhs_dtype))).reshape(dim, num_rhs)
+        )
+        pAp = backend.einsum("ij,ij->j", p, Ap)
         # Guard against numerically dead search directions on converged columns.
-        alpha = np.where(pAp > 0, rz / np.where(pAp > 0, pAp, 1.0), 0.0)
-        alpha = np.where(active, alpha, 0.0)
+        alpha = xp.where(pAp > 0, rz / xp.where(pAp > 0, pAp, 1.0), 0.0)
+        alpha = xp.where(active, alpha, 0.0)
         x += alpha * p
         r -= alpha * Ap
         z = apply_precond(r)
-        rz_new = np.einsum("ij,ij->j", r, z)
-        beta = np.where(rz > 0, rz_new / np.where(rz > 0, rz, 1.0), 0.0)
-        beta = np.where(active, beta, 0.0)
-        p = z + beta * p
+        rz_new = backend.einsum("ij,ij->j", r, z)
+        beta = xp.where(rz > 0, rz_new / xp.where(rz > 0, rz, 1.0), 0.0)
+        beta = xp.where(active, beta, 0.0)
+        # In-place direction update p <- z + beta * p (no per-iteration alloc).
+        p *= beta
+        p += z
         rz = rz_new
 
-        res_norm = np.linalg.norm(r, axis=0)
+        res_norm = backend.norm(r, axis=0)
         rel_res = res_norm / safe_b_norm
         if record_history:
             history.append(float(rel_res.max()))
         active = res_norm > tol
 
     converged = not bool(active.any())
-    solution = x.astype(b.dtype)
+    solution = backend.astype(x, rhs_dtype)
     if single:
         solution = solution[:, 0]
         rel_res = rel_res[:1]
@@ -173,6 +190,6 @@ def conjugate_gradient(
         solution=solution,
         iterations=iterations,
         converged=converged,
-        residual_norms=rel_res.copy(),
+        residual_norms=backend.copy(rel_res),
         residual_history=history,
     )

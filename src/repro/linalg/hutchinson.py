@@ -10,21 +10,22 @@ Only matrix-vector products with ``M`` are needed, which combines with the
 matrix-free Hessian matvec of Lemma 2 and CG to give the fast RELAX step.
 
 This module provides a generic estimator (for tests and diagnostics) plus a
-diagonal estimator used in ablation studies.
+diagonal estimator used in ablation studies.  Probes are drawn through the
+backend's RNG bridge, so estimates are reproducible across backends for a
+fixed seed.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional
 
-import numpy as np
-
-from repro.utils.random import as_generator, rademacher
+from repro.backend import Array, get_backend
+from repro.utils.random import as_generator
 from repro.utils.validation import require
 
 __all__ = ["hutchinson_trace", "hutchinson_diagonal"]
 
-MatVec = Callable[[np.ndarray], np.ndarray]
+MatVec = Callable[[Array], Array]
 
 
 def hutchinson_trace(
@@ -33,7 +34,7 @@ def hutchinson_trace(
     num_probes: int,
     *,
     rng=None,
-    probes: Optional[np.ndarray] = None,
+    probes: Optional[Array] = None,
     return_std: bool = False,
 ):
     """Estimate ``Trace(M)`` using Rademacher probes.
@@ -65,21 +66,25 @@ def hutchinson_trace(
 
     require(dim > 0, "dim must be positive")
     require(num_probes > 0, "num_probes must be positive")
+    backend = get_backend()
+    xp = backend.xp
     if probes is None:
-        probes = rademacher((dim, num_probes), rng=as_generator(rng), dtype=np.float64)
+        probes = backend.rademacher((dim, num_probes), rng=as_generator(rng))
     else:
-        probes = np.asarray(probes)
+        probes = xp.asarray(probes)
         require(
-            probes.shape == (dim, num_probes),
-            f"probes must have shape ({dim}, {num_probes}); got {probes.shape}",
+            tuple(probes.shape) == (dim, num_probes),
+            f"probes must have shape ({dim}, {num_probes}); got {tuple(probes.shape)}",
         )
 
-    mv = np.asarray(matvec(probes))
-    require(mv.shape == probes.shape, "matvec must preserve the probe shape")
-    per_probe = np.einsum("ij,ij->j", probes.astype(np.float64), mv.astype(np.float64))
+    mv = xp.asarray(matvec(probes))
+    require(tuple(mv.shape) == tuple(probes.shape), "matvec must preserve the probe shape")
+    per_probe = backend.einsum(
+        "ij,ij->j", backend.ascompute(probes), backend.ascompute(mv)
+    )
     estimate = float(per_probe.mean())
     if return_std:
-        std = float(per_probe.std(ddof=1)) if num_probes > 1 else 0.0
+        std = float(xp.std(per_probe, ddof=1)) if num_probes > 1 else 0.0
         return estimate, std
     return estimate
 
@@ -90,7 +95,7 @@ def hutchinson_diagonal(
     num_probes: int,
     *,
     rng=None,
-) -> np.ndarray:
+) -> Array:
     """Estimate ``diag(M)`` via the Bekas–Kokiopoulou–Saad estimator.
 
     ``diag(M) ≈ mean_j (v_j ⊙ M v_j)`` for Rademacher probes ``v_j``.  Not
@@ -100,7 +105,8 @@ def hutchinson_diagonal(
 
     require(dim > 0, "dim must be positive")
     require(num_probes > 0, "num_probes must be positive")
-    probes = rademacher((dim, num_probes), rng=as_generator(rng), dtype=np.float64)
-    mv = np.asarray(matvec(probes)).astype(np.float64)
-    require(mv.shape == probes.shape, "matvec must preserve the probe shape")
-    return np.einsum("ij,ij->i", probes, mv) / float(num_probes)
+    backend = get_backend()
+    probes = backend.rademacher((dim, num_probes), rng=as_generator(rng))
+    mv = backend.ascompute(backend.xp.asarray(matvec(probes)))
+    require(tuple(mv.shape) == tuple(probes.shape), "matvec must preserve the probe shape")
+    return backend.einsum("ij,ij->i", probes, mv) / float(num_probes)

@@ -17,8 +17,7 @@ x``-style scalars are required rather than the full inverse.
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.backend import Array, get_backend
 from repro.linalg.block_diag import BlockDiagonalMatrix
 from repro.utils.validation import require
 
@@ -27,8 +26,8 @@ __all__ = ["block_rank_one_inverse_update", "block_rank_one_quadratic_forms"]
 
 def block_rank_one_inverse_update(
     a_inverse: BlockDiagonalMatrix,
-    x: np.ndarray,
-    gamma: np.ndarray,
+    x: Array,
+    gamma: Array,
 ) -> BlockDiagonalMatrix:
     """Return ``(A + diag(gamma) ⊗ xx^T)^{-1}`` given ``A^{-1}``.
 
@@ -51,31 +50,33 @@ def block_rank_one_inverse_update(
         definite as Lemma 3 requires.
     """
 
-    x = np.asarray(x, dtype=np.float64).ravel()
-    gamma = np.asarray(gamma, dtype=np.float64).ravel()
-    require(x.size == a_inverse.block_size, "x must have length d (block size)")
-    require(gamma.size == a_inverse.num_blocks, "gamma must have length c (num blocks)")
+    backend = get_backend()
+    xp = backend.xp
+    x = backend.ascompute(x).ravel()
+    gamma = backend.ascompute(gamma).ravel()
+    require(int(x.shape[0]) == a_inverse.block_size, "x must have length d (block size)")
+    require(int(gamma.shape[0]) == a_inverse.num_blocks, "gamma must have length c (num blocks)")
 
-    inv_blocks = a_inverse.blocks.astype(np.float64)
+    inv_blocks = backend.ascompute(a_inverse.blocks)
     # u_k = A_k^{-1} x  -> shape (c, d)
-    u = np.einsum("kde,e->kd", inv_blocks, x)
+    u = backend.einsum("kde,e->kd", inv_blocks, x)
     # q_k = x^T A_k^{-1} x -> shape (c,)
     q = u @ x
     denom = 1.0 + gamma * q
-    require(bool(np.all(np.abs(denom) > 1e-14)), "rank-one update makes a block singular")
+    require(bool(xp.all(xp.abs(denom) > 1e-14)), "rank-one update makes a block singular")
 
     scale = (gamma / denom)[:, None, None]
-    updated = inv_blocks - scale * np.einsum("kd,ke->kde", u, u)
-    return BlockDiagonalMatrix(updated.astype(a_inverse.dtype), copy=False)
+    updated = inv_blocks - scale * backend.einsum("kd,ke->kde", u, u)
+    return BlockDiagonalMatrix(backend.demote(updated, a_inverse.dtype), copy=False)
 
 
 def block_rank_one_quadratic_forms(
     a_inverse: BlockDiagonalMatrix,
     middle: BlockDiagonalMatrix,
-    X: np.ndarray,
-    gammas: np.ndarray,
+    X: Array,
+    gammas: Array,
     eta: float,
-) -> np.ndarray:
+) -> Array:
     """Evaluate the ROUND objective of Proposition 4 for every candidate point.
 
     For each point ``x_i`` (rows of ``X``) and each class block ``k`` compute
@@ -97,18 +98,23 @@ def block_rank_one_quadratic_forms(
 
     Returns
     -------
-    ndarray of shape ``(n,)`` with the per-point objective values.
+    Array of shape ``(n,)`` with the per-point objective values.
     """
 
-    X = np.asarray(X)
-    gammas = np.asarray(gammas, dtype=np.float64)
+    backend = get_backend()
+    xp = backend.xp
+    X = xp.asarray(X)
+    gammas = backend.ascompute(gammas)
     require(X.ndim == 2, "X must be 2-D (n, d)")
-    require(gammas.shape == (X.shape[0], a_inverse.num_blocks), "gammas must have shape (n, c)")
+    require(
+        tuple(gammas.shape) == (int(X.shape[0]), a_inverse.num_blocks),
+        "gammas must have shape (n, c)",
+    )
     require(eta > 0, "eta must be positive")
 
     # numerator_{ik} = x_i^T B_k^{-1} M_k B_k^{-1} x_i
-    numerator = a_inverse.bilinear_form(X, middle).astype(np.float64)
+    numerator = backend.ascompute(a_inverse.bilinear_form(X, middle))
     # denominator_{ik} = 1 + eta * gamma_{ik} * x_i^T B_k^{-1} x_i
-    quad = a_inverse.quadratic_form(X).astype(np.float64)
+    quad = backend.ascompute(a_inverse.quadratic_form(X))
     denominator = 1.0 + eta * gammas * quad
-    return np.einsum("nk,nk->n", gammas, numerator / denominator)
+    return backend.einsum("nk,nk->n", gammas, numerator / denominator)

@@ -21,8 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
-import numpy as np
-
+from repro.backend import COMPUTE_DTYPE, get_backend
 from repro.core.config import RelaxConfig, RoundConfig
 from repro.fisher.operators import FisherDataset
 from repro.parallel.distributed_relax import distributed_relax
@@ -178,7 +177,9 @@ class SimulatedCluster:
                     self.measure_relax_step(dataset, budget=max(budget, 1), num_ranks=p, config=relax_config)
                 )
             else:
-                z = np.full(dataset.num_pool, budget / dataset.num_pool, dtype=np.float64)
+                z = get_backend().full(
+                    (dataset.num_pool,), budget / dataset.num_pool, dtype=COMPUTE_DTYPE
+                )
                 measurements.append(
                     self.measure_round_step(dataset, z, eta=eta, num_ranks=p, budget=budget)
                 )
@@ -211,7 +212,9 @@ class SimulatedCluster:
                     self.measure_relax_step(dataset, budget=max(budget, 1), num_ranks=p, config=relax_config)
                 )
             else:
-                z = np.full(dataset.num_pool, budget / dataset.num_pool, dtype=np.float64)
+                z = get_backend().full(
+                    (dataset.num_pool,), budget / dataset.num_pool, dtype=COMPUTE_DTYPE
+                )
                 measurements.append(
                     self.measure_round_step(dataset, z, eta=eta, num_ranks=p, budget=budget)
                 )

@@ -14,7 +14,10 @@ exactly:
 
 ``SimulatedComm`` deliberately exposes the lower-case mpi4py-style method
 names (``allreduce``, ``allgather``, ``bcast``) plus an ``argmax`` helper so
-distributed code reads like the MPI original.
+distributed code reads like the MPI original.  The collectives operate on
+arrays of the active backend — under the torch backend the per-rank buffers
+stay tensors end to end, matching how the real code keeps buffers on-GPU and
+lets CUDA-aware MPI reduce them.
 """
 
 from __future__ import annotations
@@ -22,8 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
+from repro.backend import Array, get_backend
 from repro.utils.validation import require
 
 __all__ = ["CommunicationLog", "SimulatedComm", "create_communicators"]
@@ -70,7 +72,7 @@ class _SharedState:
     def __init__(self, size: int):
         self.size = size
         self.log = CommunicationLog()
-        self.buffers: Dict[str, List[Optional[np.ndarray]]] = {}
+        self.buffers: Dict[str, List[Optional[Array]]] = {}
 
 
 class SimulatedComm:
@@ -108,43 +110,48 @@ class SimulatedComm:
     # collectives over explicit per-rank contribution lists
     # ------------------------------------------------------------------ #
     @staticmethod
-    def allreduce(contributions: Sequence[np.ndarray], log: CommunicationLog, op: str = "sum") -> np.ndarray:
+    def allreduce(contributions: Sequence[Array], log: CommunicationLog, op: str = "sum") -> Array:
         """Combine per-rank arrays with ``sum`` or ``max`` and log the traffic.
 
         The result is what every rank would hold after ``MPI_Allreduce``.
         """
 
         require(len(contributions) > 0, "allreduce needs at least one contribution")
-        arrays = [np.asarray(a) for a in contributions]
-        shapes = {a.shape for a in arrays}
+        backend = get_backend()
+        xp = backend.xp
+        arrays = [xp.asarray(a) for a in contributions]
+        shapes = {tuple(a.shape) for a in arrays}
         require(len(shapes) == 1, "allreduce contributions must share a shape")
-        stacked = np.stack(arrays, axis=0)
+        stacked = xp.stack(arrays, axis=0)
         if op == "sum":
-            result = stacked.sum(axis=0)
+            result = xp.sum(stacked, axis=0)
         elif op == "max":
-            result = stacked.max(axis=0)
+            result = xp.max(stacked, axis=0)
         elif op == "min":
-            result = stacked.min(axis=0)
+            result = xp.min(stacked, axis=0)
         else:
             raise ValueError(f"unsupported allreduce op '{op}'")
-        log.record("allreduce", int(arrays[0].nbytes))
+        log.record("allreduce", backend.nbytes(arrays[0]))
         return result
 
     @staticmethod
-    def allgather(contributions: Sequence[np.ndarray], log: CommunicationLog) -> np.ndarray:
+    def allgather(contributions: Sequence[Array], log: CommunicationLog) -> Array:
         """Concatenate per-rank arrays along axis 0 (``MPI_Allgather``)."""
 
         require(len(contributions) > 0, "allgather needs at least one contribution")
-        arrays = [np.asarray(a) for a in contributions]
-        log.record("allgather", int(sum(a.nbytes for a in arrays)))
-        return np.concatenate(arrays, axis=0)
+        backend = get_backend()
+        xp = backend.xp
+        arrays = [xp.asarray(a) for a in contributions]
+        log.record("allgather", int(sum(backend.nbytes(a) for a in arrays)))
+        return xp.concatenate(arrays, axis=0)
 
     @staticmethod
-    def bcast(value: np.ndarray, log: CommunicationLog) -> np.ndarray:
+    def bcast(value: Array, log: CommunicationLog) -> Array:
         """Broadcast an array from its owner to all ranks (``MPI_Bcast``)."""
 
-        arr = np.asarray(value)
-        log.record("bcast", int(arr.nbytes))
+        backend = get_backend()
+        arr = backend.xp.asarray(value)
+        log.record("bcast", backend.nbytes(arr))
         return arr
 
     @staticmethod
@@ -162,9 +169,13 @@ class SimulatedComm:
 
         require(len(local_values) == len(local_indices), "values and indices must align")
         require(len(local_values) > 0, "argmax_allreduce needs at least one rank")
-        values = np.asarray(local_values, dtype=np.float64)
-        owner = int(np.argmax(values))
-        log.record("allreduce", int(values.nbytes + np.asarray(local_indices).nbytes))
+        backend = get_backend()
+        values = backend.ascompute(backend.xp.asarray(local_values))
+        owner = int(backend.xp.argmax(values))
+        log.record(
+            "allreduce",
+            backend.nbytes(values) + backend.nbytes(backend.index_array(local_indices)),
+        )
         return owner, int(local_indices[owner]), float(values[owner])
 
 

@@ -13,7 +13,9 @@ Per mirror-descent iteration the communication pattern follows § III-C:
 
 Per-rank compute seconds are measured for each component so that the
 strong/weak scaling figures can combine ``max``-over-ranks compute with the
-analytic communication model.
+analytic communication model.  All per-rank arrays live on the active array
+backend; the collectives of :class:`~repro.parallel.comm.SimulatedComm`
+combine them without leaving backend storage.
 """
 
 from __future__ import annotations
@@ -22,8 +24,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-import numpy as np
+import numpy as np  # host-side timing/bookkeeping only; array math uses the backend
 
+from repro.backend import Array, COMPUTE_DTYPE, get_backend
 from repro.core.config import RelaxConfig
 from repro.fisher.hessian import block_diagonal_of_sum
 from repro.fisher.matvec import hessian_sum_matvec, probe_hessian_quadratic_forms
@@ -32,7 +35,7 @@ from repro.linalg.block_diag import BlockDiagonalMatrix
 from repro.linalg.cg import conjugate_gradient
 from repro.parallel.comm import CommunicationLog, SimulatedComm
 from repro.parallel.partition import partition_pool
-from repro.utils.random import as_generator, rademacher
+from repro.utils.random import as_generator
 from repro.utils.validation import require
 
 __all__ = ["DistributedRelaxResult", "distributed_relax"]
@@ -48,7 +51,7 @@ class DistributedRelaxResult:
     ranks.  ``comm_log`` records every collective with its message size.
     """
 
-    weights: np.ndarray
+    weights: Array
     iterations: int
     cg_iterations: int
     num_ranks: int
@@ -113,6 +116,8 @@ def distributed_relax(
         cfg.track_objective == "none",
         "distributed_relax does not track the objective; use track_objective='none'",
     )
+    backend = get_backend()
+    xp = backend.xp
     rng = as_generator(cfg.seed)
 
     shards = partition_pool(dataset, num_ranks)
@@ -124,7 +129,9 @@ def distributed_relax(
     timers = _RankTimers(num_ranks)
 
     # z is partitioned like the pool; start uniform.
-    local_z: List[np.ndarray] = [np.full(size, 1.0 / n, dtype=np.float64) for size in local_sizes]
+    local_z: List[Array] = [
+        backend.full((size,), 1.0 / n, dtype=COMPUTE_DTYPE) for size in local_sizes
+    ]
 
     total_cg_iterations = 0
     iterations = 0
@@ -132,7 +139,7 @@ def distributed_relax(
         iterations = t
 
         # Rank 0 draws the Rademacher probes and broadcasts them (Line 4).
-        probes = rademacher((dc, cfg.num_probes), rng=rng, dtype=np.float64)
+        probes = backend.rademacher((dc, cfg.num_probes), rng=rng, dtype=COMPUTE_DTYPE)
         probes = SimulatedComm.bcast(probes, comm_log)
 
         # Line 5: per-rank partial block diagonals of H_z, allreduced, plus H_o.
@@ -155,7 +162,7 @@ def distributed_relax(
         with timers.timed("setup_preconditioner", 0):
             preconditioner = sigma_blocks.inverse()
 
-        def sigma_matvec(V: np.ndarray) -> np.ndarray:
+        def sigma_matvec(V: Array) -> Array:
             """Distributed Sigma_z matvec: per-rank partials + allreduce + H_o."""
 
             partials = []
@@ -174,10 +181,10 @@ def distributed_relax(
                 labeled_part = dataset.labeled_hessian_matvec(V)
                 out = reduced + labeled_part
                 if cfg.regularization > 0.0:
-                    out = out + cfg.regularization * np.asarray(V)
+                    out = out + cfg.regularization * xp.asarray(V)
             return out
 
-        def pool_matvec(V: np.ndarray) -> np.ndarray:
+        def pool_matvec(V: Array) -> Array:
             """Distributed H_p matvec (unweighted pool sum)."""
 
             partials = []
@@ -222,9 +229,13 @@ def distributed_relax(
         # Lines 10-11: exponentiated-gradient update with a global normalization.
         global_scale = 1.0
         if cfg.normalize_gradient:
-            local_max = [float(np.max(np.abs(g))) if g.size else 0.0 for g in local_grads]
+            local_max = [
+                float(xp.abs(g).max()) if int(g.shape[0]) else 0.0 for g in local_grads
+            ]
             global_scale = float(
-                SimulatedComm.allreduce([np.asarray([m]) for m in local_max], comm_log, op="max")[0]
+                SimulatedComm.allreduce(
+                    [backend.ascompute(xp.asarray([m])) for m in local_max], comm_log, op="max"
+                )[0]
             )
         beta = cfg.step_size(t, global_scale)
 
@@ -232,19 +243,21 @@ def distributed_relax(
         local_log_max = []
         for rank in range(num_ranks):
             with timers.timed("other", rank):
-                log_z = np.log(np.clip(local_z[rank], 1e-300, None)) - beta * local_grads[rank]
+                log_z = xp.log(xp.clip(local_z[rank], 1e-300, None)) - beta * local_grads[rank]
             local_logs.append(log_z)
-            local_log_max.append(float(log_z.max()) if log_z.size else -np.inf)
+            local_log_max.append(float(log_z.max()) if int(log_z.shape[0]) else -xp.inf)
         global_log_max = float(
-            SimulatedComm.allreduce([np.asarray([m]) for m in local_log_max], comm_log, op="max")[0]
+            SimulatedComm.allreduce(
+                [backend.ascompute(xp.asarray([m])) for m in local_log_max], comm_log, op="max"
+            )[0]
         )
         local_exp = []
         local_sums = []
         for rank in range(num_ranks):
             with timers.timed("other", rank):
-                expd = np.exp(local_logs[rank] - global_log_max)
+                expd = xp.exp(local_logs[rank] - global_log_max)
             local_exp.append(expd)
-            local_sums.append(np.asarray([expd.sum()]))
+            local_sums.append(backend.ascompute(xp.asarray([float(expd.sum())])))
         total = float(SimulatedComm.allreduce(local_sums, comm_log)[0])
         for rank in range(num_ranks):
             local_z[rank] = local_exp[rank] / total

@@ -10,17 +10,23 @@ Per selection iteration (§ III-C, Algorithm 3):
   collected with ``MPI_Allgather``,
 * the FTRL constant ν and the refreshed ``B_{t+1}^{-1}`` are computed
   redundantly on every rank (replicated ``O(c d^3)`` work).
+
+All shard data and collective payloads are arrays of the active backend; the
+per-class generalized eigensolves go through the backend's promoted linear
+algebra (``eigh_generalized``).
 """
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-import numpy as np
-from scipy import linalg as sla
+import numpy as np  # host-side timing/offset bookkeeping only
 
+from repro.backend import Array, COMPUTE_DTYPE, get_backend
+from repro.core.approx_round import generalized_block_eigenvalues
 from repro.core.config import RoundConfig
 from repro.fisher.hessian import block_diagonal_of_sum, point_block_coefficients
 from repro.fisher.operators import FisherDataset
@@ -54,7 +60,7 @@ class DistributedRoundResult:
 
 def distributed_round(
     dataset: FisherDataset,
-    z_relaxed: np.ndarray,
+    z_relaxed: Array,
     budget: int,
     eta: float,
     *,
@@ -72,13 +78,15 @@ def distributed_round(
     require(eta > 0, "eta must be positive")
     require(num_ranks > 0, "num_ranks must be positive")
     cfg = config or RoundConfig(eta=eta)
+    backend = get_backend()
+    xp = backend.xp
 
-    z_relaxed = np.asarray(z_relaxed, dtype=np.float64).ravel()
-    require(z_relaxed.shape == (dataset.num_pool,), "z_relaxed must match the pool size")
+    z_relaxed = backend.ascompute(z_relaxed).ravel()
+    require(tuple(z_relaxed.shape) == (dataset.num_pool,), "z_relaxed must match the pool size")
 
     shards = partition_pool(dataset, num_ranks)
     offsets = np.cumsum([0] + [shard.num_pool for shard in shards])
-    local_z = [z_relaxed[offsets[r] : offsets[r + 1]] for r in range(num_ranks)]
+    local_z = [z_relaxed[int(offsets[r]) : int(offsets[r + 1])] for r in range(num_ranks)]
 
     d = dataset.dimension
     c = dataset.num_classes
@@ -118,11 +126,11 @@ def distributed_round(
         if cfg.regularization > 0.0:
             sigma_star = sigma_star.add_identity(cfg.regularization)
         # Line 4: B_1^{-1}.
-        bt_inv = (sigma_star * np.sqrt(dc) + labeled_blocks * (eta / budget)).inverse()
-        accumulated = BlockDiagonalMatrix.zeros(c, d, dtype=np.float64)
+        bt_inv = (sigma_star * math.sqrt(dc) + labeled_blocks * (eta / budget)).inverse()
+        accumulated = BlockDiagonalMatrix.zeros(c, d, dtype=COMPUTE_DTYPE)
 
     local_gammas = [point_block_coefficients(shard.pool_probabilities) for shard in shards]
-    local_available = [np.ones(shard.num_pool, dtype=bool) for shard in shards]
+    local_available = [backend.ones((shard.num_pool,), dtype=bool) for shard in shards]
     class_slices = block_partition(c, num_ranks)
 
     selected: List[int] = []
@@ -133,29 +141,31 @@ def distributed_round(
         for rank, shard in enumerate(shards):
             with _timed("objective_function", rank):
                 scores = block_rank_one_quadratic_forms(
-                    bt_inv, sigma_star, shard.pool_features.astype(np.float64),
+                    bt_inv, sigma_star, backend.ascompute(shard.pool_features),
                     local_gammas[rank], eta,
                 )
                 if not cfg.allow_repeats:
-                    scores = np.where(local_available[rank], scores, -np.inf)
-                best_local = int(np.argmax(scores))
+                    scores = xp.where(local_available[rank], scores, -xp.inf)
+                best_local = int(xp.argmax(scores))
             local_best_value.append(float(scores[best_local]))
             local_best_index.append(best_local)
         owner, owner_local_index, best_value = SimulatedComm.argmax_allreduce(
             local_best_value, local_best_index, comm_log
         )
-        require(np.isfinite(best_value), "no candidate available for selection")
+        require(math.isfinite(best_value), "no candidate available for selection")
         global_index = int(offsets[owner] + owner_local_index)
         selected.append(global_index)
         local_available[owner][owner_local_index] = False
 
         # Line 8 + bcast of the winner's (x, h) to all ranks.
-        x_sel = SimulatedComm.bcast(shards[owner].pool_features[owner_local_index].astype(np.float64), comm_log)
+        x_sel = SimulatedComm.bcast(
+            backend.ascompute(shards[owner].pool_features[owner_local_index]), comm_log
+        )
         gamma_sel = SimulatedComm.bcast(local_gammas[owner][owner_local_index], comm_log)
         with _timed("other", 0):
-            rank_one = np.einsum("k,d,e->kde", gamma_sel, x_sel, x_sel)
+            rank_one = backend.einsum("k,d,e->kde", gamma_sel, x_sel, x_sel)
             accumulated = BlockDiagonalMatrix(
-                accumulated.blocks + labeled_blocks.blocks.astype(np.float64) / budget + rank_one,
+                accumulated.blocks + backend.ascompute(labeled_blocks.blocks) / budget + rank_one,
                 copy=False,
             )
 
@@ -163,11 +173,13 @@ def distributed_round(
         local_eigs = []
         for rank, sl in enumerate(class_slices):
             with _timed("compute_eigenvalues", rank):
-                eigs = np.empty((sl.stop - sl.start, d), dtype=np.float64)
-                for j, k in enumerate(range(sl.start, sl.stop)):
-                    a_k = 0.5 * (accumulated.blocks[k] + accumulated.blocks[k].T)
-                    s_k = 0.5 * (sigma_star.blocks[k] + sigma_star.blocks[k].T).astype(np.float64)
-                    eigs[j] = sla.eigh(a_k, s_k, eigvals_only=True)
+                if sl.stop > sl.start:
+                    eigs = generalized_block_eigenvalues(
+                        accumulated.blocks[sl.start : sl.stop],
+                        sigma_star.blocks[sl.start : sl.stop],
+                    )
+                else:
+                    eigs = backend.zeros((0, d), dtype=COMPUTE_DTYPE)
             local_eigs.append(eigs)
         eigenvalues = SimulatedComm.allgather(local_eigs, comm_log)
 

@@ -5,13 +5,17 @@ points in ``X_u`` across p GPUs" (§ III-C).  The labeled set ``X_o`` is tiny
 (one or two points per class) and is replicated on every rank.  The ROUND
 step additionally distributes the ``c`` class blocks across ranks for the
 eigenvalue computation (Line 9 of Algorithm 3).
+
+Partition indices are host-side bookkeeping (plain int64 arrays); the shard
+*data* itself stays on the active array backend — slicing a backend array
+with a contiguous ``slice`` never leaves backend storage.
 """
 
 from __future__ import annotations
 
 from typing import List
 
-import numpy as np
+import numpy as np  # host-side index bookkeeping only
 
 from repro.fisher.operators import FisherDataset
 from repro.utils.validation import require

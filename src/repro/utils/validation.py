@@ -4,13 +4,20 @@ These checks fail fast with actionable messages instead of letting shape
 mismatches surface as cryptic einsum errors deep inside the RELAX/ROUND
 solvers.  They are deliberately cheap (O(1) or O(n)) so they can stay enabled
 in production runs.
+
+All helpers are backend-aware: inputs are converted with the *active* array
+backend's ``asarray`` and returned as backend arrays, so a torch tensor
+flowing through ``check_features`` stays a torch tensor instead of being
+silently copied to the host.  Dtype introspection goes through the backend's
+``is_floating``/``is_integer`` hooks, so no direct :mod:`numpy` import is
+needed here either.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
+from repro.backend import Array, get_backend
 
 __all__ = [
     "require",
@@ -28,28 +35,31 @@ def require(condition: bool, message: str) -> None:
         raise ValueError(message)
 
 
-def check_features(X, name: str = "X") -> np.ndarray:
-    """Validate a feature matrix of shape ``(n, d)`` and return it as ndarray."""
+def check_features(X, name: str = "X") -> Array:
+    """Validate a feature matrix of shape ``(n, d)`` and return it as a backend array."""
 
-    arr = np.asarray(X)
-    require(arr.ndim == 2, f"{name} must be 2-D (n, d); got shape {arr.shape}")
+    backend = get_backend()
+    xp = backend.xp
+    arr = xp.asarray(X)
+    require(arr.ndim == 2, f"{name} must be 2-D (n, d); got shape {tuple(arr.shape)}")
     require(arr.shape[0] > 0, f"{name} must contain at least one point")
     require(arr.shape[1] > 0, f"{name} must have at least one feature")
-    require(np.issubdtype(arr.dtype, np.floating), f"{name} must be floating point")
-    require(np.all(np.isfinite(arr)), f"{name} contains NaN or Inf values")
+    require(backend.is_floating(arr), f"{name} must be floating point")
+    require(bool(xp.all(xp.isfinite(arr))), f"{name} contains NaN or Inf values")
     return arr
 
 
-def check_labels(y, num_classes: Optional[int] = None, name: str = "y") -> np.ndarray:
+def check_labels(y, num_classes: Optional[int] = None, name: str = "y") -> Array:
     """Validate an integer label vector with classes in ``[0, num_classes)``."""
 
-    arr = np.asarray(y)
-    require(arr.ndim == 1, f"{name} must be 1-D; got shape {arr.shape}")
+    backend = get_backend()
+    arr = backend.xp.asarray(y)
+    require(arr.ndim == 1, f"{name} must be 1-D; got shape {tuple(arr.shape)}")
     require(
-        np.issubdtype(arr.dtype, np.integer),
+        backend.is_integer(arr),
         f"{name} must contain integer class indices; got dtype {arr.dtype}",
     )
-    require(arr.size > 0, f"{name} must contain at least one label")
+    require(int(arr.shape[0]) > 0, f"{name} must contain at least one label")
     require(int(arr.min()) >= 0, f"{name} contains negative class indices")
     if num_classes is not None:
         require(
@@ -59,7 +69,7 @@ def check_labels(y, num_classes: Optional[int] = None, name: str = "y") -> np.nd
     return arr
 
 
-def check_probabilities(H, num_classes: Optional[int] = None, name: str = "h") -> np.ndarray:
+def check_probabilities(H, num_classes: Optional[int] = None, name: str = "h") -> Array:
     """Validate an ``(n, c)`` matrix of class probabilities.
 
     Rows must be (numerically) *sub*-stochastic: non-negative entries summing
@@ -71,32 +81,34 @@ def check_probabilities(H, num_classes: Optional[int] = None, name: str = "h") -
     correctness guard and not just hygiene.
     """
 
-    arr = np.asarray(H)
-    require(arr.ndim == 2, f"{name} must be 2-D (n, c); got shape {arr.shape}")
+    xp = get_backend().xp
+    arr = xp.asarray(H)
+    require(arr.ndim == 2, f"{name} must be 2-D (n, c); got shape {tuple(arr.shape)}")
     if num_classes is not None:
         require(
             arr.shape[1] == num_classes,
             f"{name} must have {num_classes} columns; got {arr.shape[1]}",
         )
-    require(np.all(np.isfinite(arr)), f"{name} contains NaN or Inf values")
-    require(np.all(arr >= -1e-6), f"{name} contains negative probabilities")
-    row_sums = arr.sum(axis=1)
+    require(bool(xp.all(xp.isfinite(arr))), f"{name} contains NaN or Inf values")
+    require(bool(xp.all(arr >= -1e-6)), f"{name} contains negative probabilities")
+    row_sums = xp.sum(arr, axis=1)
     require(
-        bool(np.all(row_sums <= 1.0 + 1e-3)),
+        bool(xp.all(row_sums <= 1.0 + 1e-3)),
         f"rows of {name} must sum to at most 1 (max sum {float(row_sums.max()):.4f})",
     )
-    require(bool(np.all(row_sums > 0.0)), f"rows of {name} must not be all zero")
+    require(bool(xp.all(row_sums > 0.0)), f"rows of {name} must not be all zero")
     return arr
 
 
-def check_square_blocks(blocks, name: str = "blocks") -> np.ndarray:
+def check_square_blocks(blocks, name: str = "blocks") -> Array:
     """Validate a stack of square matrices with shape ``(c, d, d)``."""
 
-    arr = np.asarray(blocks)
-    require(arr.ndim == 3, f"{name} must be 3-D (c, d, d); got shape {arr.shape}")
+    xp = get_backend().xp
+    arr = xp.asarray(blocks)
+    require(arr.ndim == 3, f"{name} must be 3-D (c, d, d); got shape {tuple(arr.shape)}")
     require(
         arr.shape[1] == arr.shape[2],
-        f"{name} blocks must be square; got shape {arr.shape}",
+        f"{name} blocks must be square; got shape {tuple(arr.shape)}",
     )
-    require(np.all(np.isfinite(arr)), f"{name} contains NaN or Inf values")
+    require(bool(xp.all(xp.isfinite(arr))), f"{name} contains NaN or Inf values")
     return arr

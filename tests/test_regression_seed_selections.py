@@ -1,0 +1,45 @@
+"""Pinned FIRAL selections on the default NumPy backend.
+
+The backend-dispatch refactor must not change what the solvers compute: with
+the default backend, ``ApproxFIRAL.select`` and ``ExactFIRAL.select`` must
+return exactly the indices the pre-dispatch implementation produced for the
+same seeds and configs.  The expectations below were captured from the seed
+revision (commit ``c47962e``) before the refactor.
+
+These tests are intentionally strict (exact index equality).  If a future PR
+changes the numerics *deliberately* (e.g. a different probe distribution),
+re-derive the expectations and document the change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ApproxFIRAL, ExactFIRAL, RelaxConfig, RoundConfig
+from tests.conftest import make_fisher_dataset
+
+
+def test_approx_firal_selection_matches_seed_revision(small_dataset):
+    result = ApproxFIRAL(
+        RelaxConfig(max_iterations=15, seed=0),
+        RoundConfig(eta=1.0),
+    ).select(small_dataset, 5)
+    np.testing.assert_array_equal(result.selected_indices, [39, 36, 31, 26, 23])
+
+
+def test_exact_firal_selection_matches_seed_revision(tiny_dataset):
+    result = ExactFIRAL(
+        RelaxConfig(max_iterations=10, track_objective="exact"),
+        RoundConfig(eta=1.0),
+    ).select(tiny_dataset, 4)
+    np.testing.assert_array_equal(result.selected_indices, [23, 6, 20, 5])
+
+
+def test_approx_firal_eta_grid_search_matches_seed_revision():
+    tiny = make_fisher_dataset(seed=1, num_pool=25, num_labeled=6, dimension=4, num_classes=3)
+    result = ApproxFIRAL(
+        RelaxConfig(max_iterations=10, seed=3),
+        RoundConfig(eta_grid=(0.5, 2.0)),
+    ).select(tiny, 3)
+    np.testing.assert_array_equal(result.selected_indices, [6, 23, 5])
+    assert result.round.eta == 0.5
