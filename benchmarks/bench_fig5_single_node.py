@@ -75,7 +75,7 @@ def test_fig5_single_node_sensitivity(benchmark, results_writer):
             f"{d:>5d} {relax_d[d]['setup_preconditioner']:>10.4f}|{model_r['setup_preconditioner']:<11.2e} "
             f"{relax_d[d]['cg']:>10.4f}|{model_r['cg']:<11.2e} "
             f"{round_d[d]['compute_eigenvalues']:>10.4f}|{model_o['compute_eigenvalues']:<11.2e} "
-            f"{round_d[d]['objective_function']:>10.4f}|{model_o['objective_function']:<11.2e}"
+            f"{round_d[d]['score']:>10.4f}|{model_o['score']:<11.2e}"
         )
 
     # --- RELAX and ROUND vs c (d fixed) -------------------------------------
@@ -92,7 +92,7 @@ def test_fig5_single_node_sensitivity(benchmark, results_writer):
             f"{c:>5d} {relax_c[c]['setup_preconditioner']:>10.4f}|{model_r['setup_preconditioner']:<11.2e} "
             f"{relax_c[c]['cg']:>10.4f}|{model_r['cg']:<11.2e} "
             f"{round_c[c]['compute_eigenvalues']:>10.4f}|{model_o['compute_eigenvalues']:<11.2e} "
-            f"{round_c[c]['objective_function']:>10.4f}|{model_o['objective_function']:<11.2e}"
+            f"{round_c[c]['score']:>10.4f}|{model_o['score']:<11.2e}"
         )
 
     text = "\n".join(lines)
@@ -105,7 +105,7 @@ def test_fig5_single_node_sensitivity(benchmark, results_writer):
     assert round_d[D_SWEEP[-1]]["compute_eigenvalues"] > round_d[D_SWEEP[0]]["compute_eigenvalues"]
     # (B)/(D): increasing c by 10x increases the c-linear components substantially.
     assert relax_c[C_SWEEP[-1]]["setup_preconditioner"] > 2.0 * relax_c[C_SWEEP[0]]["setup_preconditioner"]
-    assert round_c[C_SWEEP[-1]]["objective_function"] > 2.0 * round_c[C_SWEEP[0]]["objective_function"]
+    assert round_c[C_SWEEP[-1]]["score"] > 2.0 * round_c[C_SWEEP[0]]["score"]
 
     # pytest-benchmark entry: one RELAX mirror-descent iteration at the largest d.
     dataset = _make_dataset(POOL_SIZE, D_SWEEP[-1], FIXED_C)

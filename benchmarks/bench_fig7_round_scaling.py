@@ -64,7 +64,7 @@ def test_fig7_round_scaling(benchmark, results_writer):
         base = strong[0].measured_total()
         for m in strong:
             lines.append(
-                f"{m.num_ranks:>3d} {m.measured_compute.get('objective_function', 0.0):>11.4f} "
+                f"{m.num_ranks:>3d} {m.measured_compute.get('score', 0.0):>11.4f} "
                 f"{m.measured_compute.get('compute_eigenvalues', 0.0):>12.4f} "
                 f"{m.measured_total():>10.4f} {base / m.measured_total():>8.2f} "
                 f"{m.theoretical_total():>13.4e}"
@@ -86,8 +86,8 @@ def test_fig7_round_scaling(benchmark, results_writer):
     for name, (strong, weak) in checks.items():
         # Strong scaling: the pool-proportional objective evaluation shrinks
         # markedly from 1 to 12 ranks.
-        obj_1 = strong[0].measured_compute["objective_function"]
-        obj_12 = strong[-1].measured_compute["objective_function"]
+        obj_1 = strong[0].measured_compute["score"]
+        obj_12 = strong[-1].measured_compute["score"]
         assert obj_12 < obj_1 / 3.0, name
         # Weak scaling: the eigenvalue component does not grow with p (it is
         # distributed over ranks) — allow generous slack for timer noise.

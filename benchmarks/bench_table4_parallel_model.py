@@ -38,7 +38,7 @@ def _build_table() -> str:
         for p in RANKS:
             rnd = round_step_model(A100_MACHINE, num_ranks=p, **cfg)
             lines.append(
-                f"{'round':>6} {p:>3d} {rnd['objective_function']:>12.4e} "
+                f"{'round':>6} {p:>3d} {rnd['score']:>12.4e} "
                 f"{rnd['compute_eigenvalues']:>12.4e} {rnd['other']:>12.4e} "
                 f"{rnd['communication']:>12.4e} {rnd['total']:>12.4e}"
             )

@@ -80,7 +80,7 @@ def _time_solvers(name: str, spec: DatasetSpec):
     approx_relax_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
-    approx_round(dataset, approx_relax_result.weights, budget, eta)
+    approx_round_result = approx_round(dataset, approx_relax_result.weights, budget, eta)
     approx_round_seconds = time.perf_counter() - start
 
     return {
@@ -89,6 +89,10 @@ def _time_solvers(name: str, spec: DatasetSpec):
         "exact_round": exact_round_seconds,
         "approx_relax": approx_relax_seconds,
         "approx_round": approx_round_seconds,
+        # Named ROUND hot-loop regions (score / update_accumulated /
+        # refresh_inverse / compute_eigenvalues / setup) so speedups are
+        # attributable per component across PRs.
+        "approx_round_components": approx_round_result.timings.as_dict(),
         "relax_speedup": exact_relax_seconds / approx_relax_seconds,
         "round_speedup": exact_round_seconds / approx_round_seconds,
         "total_speedup": (exact_relax_seconds + exact_round_seconds)
@@ -112,8 +116,18 @@ def test_table6_exact_vs_approx_timing(benchmark, results_writer):
             f"{row['exact_round']:>12.3f} {row['approx_round']:>13.3f} "
             f"{row['relax_speedup']:>8.1f} {row['round_speedup']:>8.1f} {row['total_speedup']:>8.1f}"
         )
+    lines.append("\n# approx_round component attribution (seconds)")
+    for row in rows:
+        components = " ".join(
+            f"{k}={v:.4f}" for k, v in sorted(row["approx_round_components"].items())
+        )
+        lines.append(f"{row['name']:>22} {components}")
     text = "\n".join(lines)
-    results_writer("table6_timing", text)
+    results_writer(
+        "table6_timing",
+        text,
+        approx_round_components={row["name"]: row["approx_round_components"] for row in rows},
+    )
     print(text)
 
     # Shape assertions: Approx wins end-to-end on both configurations, and the

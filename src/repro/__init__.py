@@ -31,13 +31,16 @@ from repro.backend import (
 from repro.core import (
     ApproxFIRAL,
     ExactFIRAL,
+    ExactRoundPrecompute,
     RelaxConfig,
     RoundConfig,
+    RoundPrecompute,
     SelectionResult,
     approx_relax,
     approx_round,
     exact_relax,
     exact_round,
+    select_eta,
 )
 from repro.fisher import FisherDataset
 from repro.models import LogisticRegressionClassifier
@@ -57,13 +60,16 @@ __all__ = [
     "use_backend",
     "ApproxFIRAL",
     "ExactFIRAL",
+    "ExactRoundPrecompute",
     "RelaxConfig",
     "RoundConfig",
+    "RoundPrecompute",
     "SelectionResult",
     "approx_relax",
     "approx_round",
     "exact_relax",
     "exact_round",
+    "select_eta",
     "FisherDataset",
     "LogisticRegressionClassifier",
     "DatasetSpec",

@@ -38,14 +38,22 @@ class Workspace:
         self.backend = backend
         self._buffers: Dict[Tuple[str, Tuple[int, ...], str], Array] = {}
 
-    def get(self, name: str, shape, dtype) -> Array:
-        """Return the (possibly newly allocated) buffer for ``name``/``shape``."""
+    def get(self, name: str, shape, dtype, *, zero: bool = False) -> Array:
+        """Return the (possibly newly allocated) buffer for ``name``/``shape``.
+
+        With ``zero=True`` the buffer is zero-filled before being handed out
+        (every call, not just on allocation) — for accumulators such as the
+        ROUND step's ``B_{t+1}`` update that must restart from zero when the
+        same workspace is shared across η grid trials.
+        """
 
         key = (name, tuple(int(s) for s in shape), _dtype_key(self.backend, dtype))
         buf = self._buffers.get(key)
         if buf is None:
             buf = self.backend.empty(key[1], dtype=dtype)
             self._buffers[key] = buf
+        if zero:
+            buf[...] = 0
         return buf
 
     def __len__(self) -> int:

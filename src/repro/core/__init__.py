@@ -16,9 +16,9 @@
 from repro.core.config import RelaxConfig, RoundConfig
 from repro.core.result import RelaxResult, RoundResult, SelectionResult
 from repro.core.exact_relax import exact_relax
-from repro.core.exact_round import exact_round
+from repro.core.exact_round import ExactRoundPrecompute, exact_round
 from repro.core.approx_relax import approx_relax
-from repro.core.approx_round import approx_round
+from repro.core.approx_round import RoundPrecompute, approx_round
 from repro.core.eta_selection import select_eta
 from repro.core.firal import ApproxFIRAL, ExactFIRAL
 
@@ -28,6 +28,8 @@ __all__ = [
     "RelaxResult",
     "RoundResult",
     "SelectionResult",
+    "ExactRoundPrecompute",
+    "RoundPrecompute",
     "exact_relax",
     "exact_round",
     "approx_relax",

@@ -21,6 +21,14 @@ across iterations: the probe buffer and every Lemma-2 einsum intermediate
 have iteration-independent shapes, so the inner loop reuses them instead of
 reallocating per iteration (results equal up to fp reduction order; see the
 config docstring).
+
+Two amortizations across mirror-descent iterations (both configurable, see
+:class:`~repro.core.config.RelaxConfig`): the block-diagonal preconditioner
+can be refreshed only every ``precond_refresh_every`` iterations instead of
+reassembled + inverted per iteration (stale factors only slow CG, never move
+its fixed point), and the Line-6/8 CG solves can warm-start from the previous
+iteration's solutions (opt-in — fresh per-iteration probes make consecutive
+right-hand sides uncorrelated, see the config docstring).
 """
 
 from __future__ import annotations
@@ -72,8 +80,15 @@ def approx_relax(
     z = backend.full((n,), 1.0 / n, dtype=COMPUTE_DTYPE)
     objective_trace = []
     first_cg_history: list = []
+    cg_iteration_history: list = []
     total_cg_iterations = 0
     converged = False
+
+    # Warm-start state: previous iteration's CG solutions (Lines 6 and 8) and
+    # the preconditioner reused between refreshes.
+    prev_first_solution = None
+    prev_second_solution = None
+    preconditioner = None
 
     iterations = 0
     for t in range(1, cfg.max_iterations + 1):
@@ -92,18 +107,29 @@ def approx_relax(
                 ),
             )
 
-        # Line 5: block-diagonal preconditioner for the current Sigma_z.
+        # Line 5: block-diagonal preconditioner for the current Sigma_z,
+        # refreshed every `precond_refresh_every` iterations (stale factors
+        # only affect CG convergence speed, never the solve's fixed point).
+        refresh = preconditioner is None or (t - 1) % cfg.precond_refresh_every == 0
         with timings.region("setup_preconditioner"):
             operator = SigmaOperator(
-                dataset, budget * z, regularization=cfg.regularization, workspace=workspace
+                dataset,
+                budget * z,
+                regularization=cfg.regularization,
+                build_preconditioner=refresh,
+                workspace=workspace,
             )
+            if refresh:
+                preconditioner = operator.block_diagonal_inverse
 
-        # Lines 6-8: W = Sigma^{-1} H_p Sigma^{-1} V via two PCG solves.
+        # Lines 6-8: W = Sigma^{-1} H_p Sigma^{-1} V via two PCG solves,
+        # warm-started from the previous iteration's solutions.
         with timings.region("cg"):
             first_solve = conjugate_gradient(
                 operator.matvec,
                 probes,
-                preconditioner=operator.precondition,
+                preconditioner=preconditioner.matvec,
+                x0=prev_first_solution if cfg.cg_warm_start else None,
                 rtol=cfg.cg_tolerance,
                 max_iterations=cfg.cg_max_iterations,
                 record_history=(t == 1),
@@ -119,12 +145,17 @@ def approx_relax(
             second_solve = conjugate_gradient(
                 operator.matvec,
                 pool_applied,
-                preconditioner=operator.precondition,
+                preconditioner=preconditioner.matvec,
+                x0=prev_second_solution if cfg.cg_warm_start else None,
                 rtol=cfg.cg_tolerance,
                 max_iterations=cfg.cg_max_iterations,
                 record_history=False,
             )
             total_cg_iterations += second_solve.iterations
+            cg_iteration_history.append(first_solve.iterations + second_solve.iterations)
+            if cfg.cg_warm_start:
+                prev_first_solution = first_solve.solution
+                prev_second_solution = second_solve.solution
 
         # Line 9: gradient estimate for every pool point.
         with timings.region("gradient"):
@@ -175,6 +206,7 @@ def approx_relax(
         iterations=iterations,
         converged=converged,
         cg_iterations=total_cg_iterations,
+        cg_iteration_history=cg_iteration_history,
         first_iteration_cg_history=first_cg_history,
         timings=timings,
     )

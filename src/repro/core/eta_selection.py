@@ -7,6 +7,13 @@ rule is inherited from Exact-FIRAL, so both solvers share this module.
 
 Theorem 1 suggests the theoretical scale η = 8 sqrt(dc) / ε; the default grid
 therefore mixes O(1) values with multiples of sqrt(dc).
+
+The grid search is where the ROUND solvers' η-independent setup would
+otherwise be paid once **per trial**: ``Sigma_*`` assembly and the pool
+promotions for the block-diagonal solver, the ``O(n c^3 d^3)`` candidate
+similarity transforms for the dense one.  :func:`select_eta` therefore
+assembles the solver's precompute context once and threads it through every
+grid trial (and through the min-eigenvalue scoring rule).
 """
 
 from __future__ import annotations
@@ -15,8 +22,13 @@ import math
 from typing import Callable, Optional, Sequence, Tuple
 
 from repro.backend import Array
-from repro.core.approx_round import selected_batch_min_eigenvalue
+from repro.core.approx_round import (
+    RoundPrecompute,
+    approx_round,
+    selected_batch_min_eigenvalue,
+)
 from repro.core.config import RoundConfig
+from repro.core.exact_round import ExactRoundPrecompute, exact_round
 from repro.core.result import RoundResult
 from repro.fisher.operators import FisherDataset
 from repro.utils.validation import require
@@ -24,6 +36,15 @@ from repro.utils.validation import require
 __all__ = ["default_eta_grid", "select_eta"]
 
 RoundSolver = Callable[[FisherDataset, Array, int, float, Optional[RoundConfig]], RoundResult]
+
+#: Solvers whose η-independent state ``select_eta`` hoists out of the grid
+#: loop.  Keyed by the solver function itself; solvers not listed here are
+#: simply called per trial without a precompute context (backward
+#: compatible with custom solvers).
+_PRECOMPUTE_BUILDERS = {
+    approx_round: RoundPrecompute.build,
+    exact_round: ExactRoundPrecompute.build,
+}
 
 
 def default_eta_grid(joint_dimension: int) -> Tuple[float, ...]:
@@ -42,6 +63,7 @@ def select_eta(
     *,
     eta_grid: Optional[Sequence[float]] = None,
     config: Optional[RoundConfig] = None,
+    precompute=None,
 ) -> Tuple[RoundResult, float]:
     """Run the ROUND solver for each candidate η and keep the best batch.
 
@@ -50,12 +72,18 @@ def select_eta(
     solver:
         Either :func:`repro.core.approx_round.approx_round` or
         :func:`repro.core.exact_round.exact_round` (they share a signature).
+        Other callables with the same signature also work; the per-grid
+        precompute hoisting only engages for the two known solvers.
     dataset, z_relaxed, budget:
         Round-solve inputs.
     eta_grid:
         Candidate η values; defaults to :func:`default_eta_grid`.
     config:
         Round options forwarded to every trial solve.
+    precompute:
+        Optional pre-built η-independent context (``RoundPrecompute`` /
+        ``ExactRoundPrecompute``) matching ``solver``; built automatically
+        when omitted.
 
     Returns
     -------
@@ -68,11 +96,24 @@ def select_eta(
     require(len(grid) > 0, "eta grid must not be empty")
     require(all(e > 0 for e in grid), "eta values must be positive")
 
+    if precompute is None:
+        builder = _PRECOMPUTE_BUILDERS.get(solver)
+        if builder is not None:
+            precompute = builder(dataset, z_relaxed, config)
+    # The scoring rule only needs promoted X/gammas; both precompute flavors
+    # expose them (duck-typed — a custom solver's context may not).
+    score_precompute = precompute if hasattr(precompute, "gammas") else None
+
     best_result: Optional[RoundResult] = None
     best_score = -math.inf
     for eta in grid:
-        result = solver(dataset, z_relaxed, budget, float(eta), config)
-        score = selected_batch_min_eigenvalue(dataset, result.selected_indices)
+        if precompute is not None:
+            result = solver(dataset, z_relaxed, budget, float(eta), config, precompute=precompute)
+        else:
+            result = solver(dataset, z_relaxed, budget, float(eta), config)
+        score = selected_batch_min_eigenvalue(
+            dataset, result.selected_indices, precompute=score_precompute
+        )
         if score > best_score:
             best_score = score
             best_result = result

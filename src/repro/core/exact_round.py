@@ -12,18 +12,19 @@ is validated (Proposition 4) and timed (Table VI).
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.backend import Array, COMPUTE_DTYPE, get_backend
 from repro.core.config import RoundConfig
 from repro.core.result import RoundResult
-from repro.fisher.hessian import point_hessian_dense
+from repro.fisher.hessian import point_block_coefficients, point_hessian_dense
 from repro.fisher.operators import FisherDataset
 from repro.linalg.bisection import find_ftrl_nu
 from repro.utils.timing import TimingBreakdown
 from repro.utils.validation import require
 
-__all__ = ["exact_round"]
+__all__ = ["ExactRoundPrecompute", "exact_round"]
 
 
 def _symmetric_inv_sqrt(matrix: Array) -> Array:
@@ -36,12 +37,74 @@ def _symmetric_inv_sqrt(matrix: Array) -> Array:
     return (V * (1.0 / xp.sqrt(w))) @ backend.transpose_last(V)
 
 
+@dataclass
+class ExactRoundPrecompute:
+    """η-independent state of a dense ROUND solve.
+
+    The similarity transform of every candidate Hessian —
+    ``~H_i = Sigma_*^{-1/2} H_i Sigma_*^{-1/2}``, an ``O(n c^3 d^3)`` loop —
+    dominates the dense solver's setup and does not depend on η, so the
+    § IV-A grid search builds this once and reuses it across every trial.
+    ``X``/``gammas`` mirror :class:`repro.core.approx_round.RoundPrecompute`
+    so the η scoring rule can index promoted arrays directly.
+    """
+
+    sigma_star: Array
+    h_labeled_tilde: Array
+    candidate_tilde: Array
+    X: Array
+    gammas: Array
+    z: Array
+
+    @classmethod
+    def build(
+        cls,
+        dataset: FisherDataset,
+        z_relaxed: Array,
+        config: Optional[RoundConfig] = None,
+    ) -> "ExactRoundPrecompute":
+        backend = get_backend()
+        cfg = config or RoundConfig(eta=1.0)
+        z = backend.ascompute(z_relaxed).ravel()
+        require(
+            tuple(z.shape) == (dataset.num_pool,),
+            "z_relaxed must have one weight per pool point",
+        )
+        n = dataset.num_pool
+        dc = dataset.joint_dimension
+        sigma_star = dataset.sigma_dense(z)
+        if cfg.regularization > 0.0:
+            sigma_star = sigma_star + cfg.regularization * backend.eye(dc, dtype=sigma_star.dtype)
+        sigma_inv_sqrt = _symmetric_inv_sqrt(sigma_star)
+        h_labeled = dataset.labeled_hessian_dense()
+        h_labeled_tilde = sigma_inv_sqrt @ h_labeled @ sigma_inv_sqrt
+        # Transformed candidate Hessians ~H_i = Sigma^{-1/2} H_i Sigma^{-1/2}.
+        candidate_tilde = backend.empty((n, dc, dc), dtype=COMPUTE_DTYPE)
+        for i in range(n):
+            h_i = point_hessian_dense(dataset.pool_features[i], dataset.pool_probabilities[i])
+            candidate_tilde[i] = sigma_inv_sqrt @ h_i @ sigma_inv_sqrt
+        return cls(
+            sigma_star=sigma_star,
+            h_labeled_tilde=h_labeled_tilde,
+            candidate_tilde=candidate_tilde,
+            X=backend.ascompute(dataset.pool_features),
+            gammas=point_block_coefficients(dataset.pool_probabilities),
+            z=z,
+        )
+
+    @property
+    def num_pool(self) -> int:
+        return int(self.candidate_tilde.shape[0])
+
+
 def exact_round(
     dataset: FisherDataset,
     z_relaxed: Array,
     budget: int,
     eta: float,
     config: Optional[RoundConfig] = None,
+    *,
+    precompute: Optional[ExactRoundPrecompute] = None,
 ) -> RoundResult:
     """Select ``budget`` points with the dense FTRL round solver.
 
@@ -58,6 +121,11 @@ def exact_round(
         :mod:`repro.core.eta_selection`.
     config:
         Round options (``allow_repeats``, regularization).
+    precompute:
+        Optional η-independent state built with
+        :meth:`ExactRoundPrecompute.build` for the same
+        ``(dataset, z_relaxed, config)``; the η grid search passes one
+        instance through every trial.
     """
 
     require(budget > 0, "budget must be positive")
@@ -77,17 +145,15 @@ def exact_round(
     dc = d * c
 
     with timings.region("other"):
-        sigma_star = dataset.sigma_dense(z_relaxed)
-        if cfg.regularization > 0.0:
-            sigma_star = sigma_star + cfg.regularization * backend.eye(dc, dtype=sigma_star.dtype)
-        sigma_inv_sqrt = _symmetric_inv_sqrt(sigma_star)
-        h_labeled = dataset.labeled_hessian_dense()
-        h_labeled_tilde = sigma_inv_sqrt @ h_labeled @ sigma_inv_sqrt
-        # Transformed candidate Hessians ~H_i = Sigma^{-1/2} H_i Sigma^{-1/2}.
-        candidate_tilde = backend.empty((n, dc, dc), dtype=COMPUTE_DTYPE)
-        for i in range(n):
-            h_i = point_hessian_dense(dataset.pool_features[i], dataset.pool_probabilities[i])
-            candidate_tilde[i] = sigma_inv_sqrt @ h_i @ sigma_inv_sqrt
+        if precompute is None:
+            precompute = ExactRoundPrecompute.build(dataset, z_relaxed, cfg)
+        require(precompute.num_pool == n, "precompute does not match the dataset pool")
+        require(
+            bool(xp.all(precompute.z == z_relaxed)),
+            "precompute was built from different relaxed weights",
+        )
+        h_labeled_tilde = precompute.h_labeled_tilde
+        candidate_tilde = precompute.candidate_tilde
 
     A_t = math.sqrt(dc) * backend.eye(dc, dtype=COMPUTE_DTYPE)
     accumulated = backend.zeros((dc, dc), dtype=COMPUTE_DTYPE)

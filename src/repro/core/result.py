@@ -33,6 +33,10 @@ class RelaxResult:
         Whether the relative-objective-change criterion fired before the cap.
     cg_iterations:
         Total CG iterations summed over the solve (Approx only).
+    cg_iteration_history:
+        CG iterations per mirror-descent iteration (both solves summed) —
+        with warm starts enabled this is the series that decays as the solve
+        sequence progresses (empty for the exact solver).
     first_iteration_cg_history:
         Relative-residual trace of the first CG solve — the series shown in
         Fig. 1 (empty for the exact solver).
@@ -45,6 +49,7 @@ class RelaxResult:
     iterations: int = 0
     converged: bool = False
     cg_iterations: int = 0
+    cg_iteration_history: List[int] = field(default_factory=list)
     first_iteration_cg_history: List[float] = field(default_factory=list)
     timings: TimingBreakdown = field(default_factory=TimingBreakdown)
 

@@ -20,6 +20,7 @@ from repro.linalg.hutchinson import hutchinson_trace, hutchinson_diagonal
 from repro.linalg.sherman_morrison import (
     block_rank_one_inverse_update,
     block_rank_one_quadratic_forms,
+    fused_round_scores,
 )
 from repro.linalg.bisection import find_ftrl_nu, bisect_scalar
 
@@ -31,6 +32,7 @@ __all__ = [
     "hutchinson_diagonal",
     "block_rank_one_inverse_update",
     "block_rank_one_quadratic_forms",
+    "fused_round_scores",
     "find_ftrl_nu",
     "bisect_scalar",
 ]

@@ -262,6 +262,40 @@ class BlockDiagonalMatrix:
         backend = get_backend()
         return float(backend.einsum("kii->", backend.ascompute(self.blocks)))
 
+    def apply_points(self, X: Array, *, out: Optional[Array] = None) -> Array:
+        """Batched contraction ``U[k, i] = A_k x_i`` for a batch of points.
+
+        Parameters
+        ----------
+        X:
+            Array of shape ``(n, d)`` in the compute dtype (callers promote;
+            mixed-dtype ``matmul`` is rejected by some backends).
+        out:
+            Optional ``(c, n, d)`` output buffer (workspace reuse).
+
+        Returns
+        -------
+        Array of shape ``(c, n, d)`` with ``[k, i] = A_k @ x_i``.
+
+        This is the shared ``O(n c d^2)`` contraction of the fused ROUND
+        scoring kernel (Prop. 4 / Eq. 17): both the Sherman–Morrison
+        denominator and the ``Sigma_*`` numerator derive from one evaluation.
+        Implemented as a broadcast batched ``matmul`` — one BLAS GEMM per
+        class block — rather than an einsum, which array libraries without
+        batched-contraction-aware einsum paths execute on slow non-BLAS
+        kernels.
+        """
+
+        backend = get_backend()
+        xp = backend.xp
+        X = xp.asarray(X)
+        require(X.ndim == 2 and X.shape[1] == self.block_size, "X must have shape (n, d)")
+        # U[k, i, d] = sum_e A[k, d, e] X[i, e]  ==  X @ A_k^T, batched over k.
+        at = backend.transpose_last(self.blocks)
+        if out is not None:
+            return xp.matmul(X[None, :, :], at, out=out)
+        return xp.matmul(X[None, :, :], at)
+
     def quadratic_form(self, X: Array) -> Array:
         """Batched quadratic forms ``x_i^T A_k x_i`` for every point and block.
 

@@ -17,11 +17,17 @@ x``-style scalars are required rather than the full inverse.
 
 from __future__ import annotations
 
-from repro.backend import Array, get_backend
+from typing import Optional
+
+from repro.backend import Array, COMPUTE_DTYPE, Workspace, get_backend
 from repro.linalg.block_diag import BlockDiagonalMatrix
 from repro.utils.validation import require
 
-__all__ = ["block_rank_one_inverse_update", "block_rank_one_quadratic_forms"]
+__all__ = [
+    "block_rank_one_inverse_update",
+    "block_rank_one_quadratic_forms",
+    "fused_round_scores",
+]
 
 
 def block_rank_one_inverse_update(
@@ -70,6 +76,98 @@ def block_rank_one_inverse_update(
     return BlockDiagonalMatrix(backend.demote(updated, a_inverse.dtype), copy=False)
 
 
+def fused_round_scores(
+    a_inverse: BlockDiagonalMatrix,
+    middle: BlockDiagonalMatrix,
+    X: Array,
+    gammas: Array,
+    eta: float,
+    *,
+    chunk_size: Optional[int] = None,
+    workspace: Optional[Workspace] = None,
+    out: Optional[Array] = None,
+) -> Array:
+    """Fused evaluation of the Proposition-4 ROUND objective (Eq. 17).
+
+    For each point ``x_i`` (rows of ``X``) and each class block ``k``
+
+        gamma_{ik} * x_i^T B_k^{-1} M_k B_k^{-1} x_i
+        / (1 + eta * gamma_{ik} * x_i^T B_k^{-1} x_i)
+
+    summed over ``k``, with ``B^{-1} = a_inverse`` and ``M = middle``.  The
+    shared contraction ``U_k = X B_k^{-1}`` is computed **once** and both the
+    numerator ``einsum(U, M, U)`` and the Sherman–Morrison denominator
+    ``einsum(U, X)`` derive from it, halving the dominant ``O(n c d^2)``
+    contraction relative to evaluating the two quadratic forms independently.
+
+    Parameters
+    ----------
+    a_inverse, middle:
+        ``B_t^{-1}`` and the middle matrix ``M`` (``Sigma_*`` — see the note
+        in :func:`block_rank_one_quadratic_forms`).
+    X:
+        Candidate features ``(n, d)``, **already promoted** to the compute
+        dtype.  Promotion belongs to the caller (one promotion per ROUND
+        solve / η grid, not one per selection step).
+    gammas:
+        Rank-one coefficients ``(n, c)``, already promoted.
+    eta:
+        FTRL learning rate.
+    chunk_size:
+        When given, candidates are streamed in chunks of this many points so
+        peak scratch memory is ``O(chunk · c · d)`` instead of
+        ``O(n · c · d)``.  Every candidate's score is an independent
+        contraction, so chunking selects identical indices; the raw scores
+        can differ by BLAS kernel-blocking ULPs (GEMM tiling depends on the
+        row count).
+    workspace:
+        Optional :class:`~repro.backend.Workspace`; the two ``(c, m, d)``
+        scratch tensors are reused across selection steps (and η trials)
+        instead of reallocated.
+    out:
+        Optional ``(n,)`` compute-dtype output buffer.
+
+    Returns
+    -------
+    Array of shape ``(n,)`` with the per-point objective values (compute
+    dtype).  The point with the *maximum* value is the ROUND selection.
+    """
+
+    backend = get_backend()
+    xp = backend.xp
+    c = a_inverse.num_blocks
+    d = a_inverse.block_size
+    n = int(X.shape[0])
+    require(X.ndim == 2 and int(X.shape[1]) == d, "X must have shape (n, d)")
+    require(tuple(gammas.shape) == (n, c), "gammas must have shape (n, c)")
+    require(eta > 0, "eta must be positive")
+    require(chunk_size is None or chunk_size > 0, "chunk_size must be positive")
+
+    inv_blocks = backend.ascompute(a_inverse.blocks)
+    mid_blocks = backend.ascompute(middle.blocks)
+    inv_promoted = BlockDiagonalMatrix(inv_blocks, copy=False)
+
+    scores = out if out is not None else backend.empty((n,), dtype=COMPUTE_DTYPE)
+    step = n if chunk_size is None else min(int(chunk_size), n)
+    for start in range(0, n, max(step, 1)):
+        stop = min(start + step, n)
+        m = stop - start
+        Xc = X[start:stop]
+        Gc = gammas[start:stop]
+        u_buf = workspace.get("fused_round_u", (c, m, d), COMPUTE_DTYPE) if workspace else None
+        v_buf = workspace.get("fused_round_v", (c, m, d), COMPUTE_DTYPE) if workspace else None
+        # U[k, i] = B_k^{-1} x_i — the single shared contraction.
+        U = inv_promoted.apply_points(Xc, out=u_buf)
+        # V[k, i] = M_k U[k, i]  (batched GEMM, one per class block).
+        V = xp.matmul(U, mid_blocks, out=v_buf) if v_buf is not None else xp.matmul(U, mid_blocks)
+        # numerator_{ik} = U[k,i] · V[k,i];  quad_{ik} = U[k,i] · x_i.
+        numerator = backend.transpose_last(backend.einsum("kid,kid->ki", V, U))
+        quad = backend.transpose_last(backend.einsum("kid,id->ki", U, Xc))
+        denominator = 1.0 + eta * Gc * quad
+        scores[start:stop] = backend.einsum("ik,ik->i", Gc, numerator / denominator)
+    return scores
+
+
 def block_rank_one_quadratic_forms(
     a_inverse: BlockDiagonalMatrix,
     middle: BlockDiagonalMatrix,
@@ -79,14 +177,12 @@ def block_rank_one_quadratic_forms(
 ) -> Array:
     """Evaluate the ROUND objective of Proposition 4 for every candidate point.
 
-    For each point ``x_i`` (rows of ``X``) and each class block ``k`` compute
-
-        gamma_{ik} * x_i^T B_k^{-1} M_k B_k^{-1} x_i
-        / (1 + eta * gamma_{ik} * x_i^T B_k^{-1} x_i)
-
-    and sum over ``k``, where ``B^{-1} = a_inverse``, ``M = middle`` and
-    ``gamma_{ik} = h_i^k (1 - h_i^k)``.  The point with the *maximum* value is
-    the ROUND selection.
+    Thin backward-compatible wrapper over :func:`fused_round_scores`: it
+    promotes ``X``/``gammas`` to the compute dtype and evaluates the fused
+    kernel in one shot.  Hot loops should promote once and call
+    :func:`fused_round_scores` directly (optionally chunked / with a
+    workspace); this entry point keeps the historical signature for callers
+    that score a single batch.
 
     Note on the paper: Eq. (17) prints the middle matrix as ``(Sigma_*)^{-1}_k``,
     but expanding the trace identity of Eq. (18),
@@ -102,19 +198,7 @@ def block_rank_one_quadratic_forms(
     """
 
     backend = get_backend()
-    xp = backend.xp
-    X = xp.asarray(X)
+    X = backend.ascompute(X)
     gammas = backend.ascompute(gammas)
     require(X.ndim == 2, "X must be 2-D (n, d)")
-    require(
-        tuple(gammas.shape) == (int(X.shape[0]), a_inverse.num_blocks),
-        "gammas must have shape (n, c)",
-    )
-    require(eta > 0, "eta must be positive")
-
-    # numerator_{ik} = x_i^T B_k^{-1} M_k B_k^{-1} x_i
-    numerator = backend.ascompute(a_inverse.bilinear_form(X, middle))
-    # denominator_{ik} = 1 + eta * gamma_{ik} * x_i^T B_k^{-1} x_i
-    quad = backend.ascompute(a_inverse.quadratic_form(X))
-    denominator = 1.0 + eta * gammas * quad
-    return backend.einsum("nk,nk->n", gammas, numerator / denominator)
+    return fused_round_scores(a_inverse, middle, X, gammas, eta)

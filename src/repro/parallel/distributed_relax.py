@@ -135,6 +135,11 @@ def distributed_relax(
 
     total_cg_iterations = 0
     iterations = 0
+    # Warm-start / preconditioner-reuse state, mirroring the serial solver so
+    # the SPMD trajectory stays equivalent for the same configuration.
+    prev_first_solution = None
+    prev_second_solution = None
+    preconditioner = None
     for t in range(1, cfg.max_iterations + 1):
         iterations = t
 
@@ -142,25 +147,29 @@ def distributed_relax(
         probes = backend.rademacher((dc, cfg.num_probes), rng=rng, dtype=COMPUTE_DTYPE)
         probes = SimulatedComm.bcast(probes, comm_log)
 
-        # Line 5: per-rank partial block diagonals of H_z, allreduced, plus H_o.
-        partial_blocks = []
-        for rank, shard in enumerate(shards):
-            with timers.timed("setup_preconditioner", rank):
-                partial = block_diagonal_of_sum(
-                    shard.pool_features, shard.pool_probabilities, weights=budget * local_z[rank]
-                )
-            partial_blocks.append(partial.blocks)
-        summed = SimulatedComm.allreduce(partial_blocks, comm_log)
-        with timers.timed("setup_preconditioner", 0):
-            labeled_blocks = dataset.labeled_block_diagonal()
-        sigma_blocks = BlockDiagonalMatrix(summed, copy=False) + labeled_blocks
-        if cfg.regularization > 0.0:
-            sigma_blocks = sigma_blocks.add_identity(cfg.regularization)
-        # The inversion is replicated on every rank in the real code; it is
-        # executed once here and charged to rank 0 (replicated work does not
-        # change the max-over-ranks parallel estimate).
-        with timers.timed("setup_preconditioner", 0):
-            preconditioner = sigma_blocks.inverse()
+        # Line 5: per-rank partial block diagonals of H_z, allreduced, plus
+        # H_o — skipped entirely between preconditioner refreshes (the stale
+        # factor only affects CG convergence, not the solves' fixed point).
+        refresh = preconditioner is None or (t - 1) % cfg.precond_refresh_every == 0
+        if refresh:
+            partial_blocks = []
+            for rank, shard in enumerate(shards):
+                with timers.timed("setup_preconditioner", rank):
+                    partial = block_diagonal_of_sum(
+                        shard.pool_features, shard.pool_probabilities, weights=budget * local_z[rank]
+                    )
+                partial_blocks.append(partial.blocks)
+            summed = SimulatedComm.allreduce(partial_blocks, comm_log)
+            with timers.timed("setup_preconditioner", 0):
+                labeled_blocks = dataset.labeled_block_diagonal()
+            sigma_blocks = BlockDiagonalMatrix(summed, copy=False) + labeled_blocks
+            if cfg.regularization > 0.0:
+                sigma_blocks = sigma_blocks.add_identity(cfg.regularization)
+            # The inversion is replicated on every rank in the real code; it is
+            # executed once here and charged to rank 0 (replicated work does not
+            # change the max-over-ranks parallel estimate).
+            with timers.timed("setup_preconditioner", 0):
+                preconditioner = sigma_blocks.inverse()
 
         def sigma_matvec(V: Array) -> Array:
             """Distributed Sigma_z matvec: per-rank partials + allreduce + H_o."""
@@ -195,11 +204,13 @@ def distributed_relax(
                     )
             return SimulatedComm.allreduce(partials, comm_log)
 
-        # Lines 6-8: two preconditioned CG solves around an H_p application.
+        # Lines 6-8: two preconditioned CG solves around an H_p application,
+        # warm-started from the previous iteration's solutions.
         first = conjugate_gradient(
             sigma_matvec,
             probes,
             preconditioner=preconditioner.matvec,
+            x0=prev_first_solution if cfg.cg_warm_start else None,
             rtol=cfg.cg_tolerance,
             max_iterations=cfg.cg_max_iterations,
             record_history=False,
@@ -210,11 +221,15 @@ def distributed_relax(
             sigma_matvec,
             applied,
             preconditioner=preconditioner.matvec,
+            x0=prev_second_solution if cfg.cg_warm_start else None,
             rtol=cfg.cg_tolerance,
             max_iterations=cfg.cg_max_iterations,
             record_history=False,
         )
         total_cg_iterations += second.iterations
+        if cfg.cg_warm_start:
+            prev_first_solution = first.solution
+            prev_second_solution = second.solution
 
         # Line 9: local gradient estimates.
         local_grads = []

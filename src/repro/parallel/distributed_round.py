@@ -25,14 +25,14 @@ from typing import Dict, List, Optional
 
 import numpy as np  # host-side timing/offset bookkeeping only
 
-from repro.backend import Array, COMPUTE_DTYPE, get_backend
+from repro.backend import Array, COMPUTE_DTYPE, Workspace, get_backend
 from repro.core.approx_round import generalized_block_eigenvalues
 from repro.core.config import RoundConfig
 from repro.fisher.hessian import block_diagonal_of_sum, point_block_coefficients
 from repro.fisher.operators import FisherDataset
 from repro.linalg.bisection import find_ftrl_nu
 from repro.linalg.block_diag import BlockDiagonalMatrix
-from repro.linalg.sherman_morrison import block_rank_one_quadratic_forms
+from repro.linalg.sherman_morrison import fused_round_scores
 from repro.parallel.comm import CommunicationLog, SimulatedComm
 from repro.parallel.partition import block_partition, partition_pool
 from repro.utils.validation import require
@@ -93,9 +93,11 @@ def distributed_round(
     dc = d * c
     comm_log = CommunicationLog()
     per_rank: Dict[str, np.ndarray] = {
-        "objective_function": np.zeros(num_ranks),
+        "score": np.zeros(num_ranks),
         "compute_eigenvalues": np.zeros(num_ranks),
-        "other": np.zeros(num_ranks),
+        "update_accumulated": np.zeros(num_ranks),
+        "refresh_inverse": np.zeros(num_ranks),
+        "setup": np.zeros(num_ranks),
     }
 
     def _timed(component: str, rank: int):
@@ -113,14 +115,14 @@ def distributed_round(
     # Line 3: Sigma_* block diagonal from per-rank partial sums + H_o.
     partials = []
     for rank, shard in enumerate(shards):
-        with _timed("other", rank):
+        with _timed("setup", rank):
             partials.append(
                 block_diagonal_of_sum(
                     shard.pool_features, shard.pool_probabilities, weights=local_z[rank]
                 ).blocks
             )
     summed = SimulatedComm.allreduce(partials, comm_log)
-    with _timed("other", 0):
+    with _timed("setup", 0):
         labeled_blocks = dataset.labeled_block_diagonal()
         sigma_star = BlockDiagonalMatrix(summed, copy=False) + labeled_blocks
         if cfg.regularization > 0.0:
@@ -128,9 +130,16 @@ def distributed_round(
         # Line 4: B_1^{-1}.
         bt_inv = (sigma_star * math.sqrt(dc) + labeled_blocks * (eta / budget)).inverse()
         accumulated = BlockDiagonalMatrix.zeros(c, d, dtype=COMPUTE_DTYPE)
+        labeled_over_budget = backend.ascompute(labeled_blocks.blocks) / budget
 
+    # Per-rank promotions hoisted out of the selection loop (the serial
+    # solver's RoundPrecompute analogue): shard features / gammas are promoted
+    # once, and each rank scores through the same fused kernel as the serial
+    # path — the SPMD trajectory stays equivalent by construction.
+    local_X = [backend.ascompute(shard.pool_features) for shard in shards]
     local_gammas = [point_block_coefficients(shard.pool_probabilities) for shard in shards]
     local_available = [backend.ones((shard.num_pool,), dtype=bool) for shard in shards]
+    local_workspaces = [Workspace(backend) for _ in shards]
     class_slices = block_partition(c, num_ranks)
 
     selected: List[int] = []
@@ -139,10 +148,15 @@ def distributed_round(
         local_best_value = []
         local_best_index = []
         for rank, shard in enumerate(shards):
-            with _timed("objective_function", rank):
-                scores = block_rank_one_quadratic_forms(
-                    bt_inv, sigma_star, backend.ascompute(shard.pool_features),
-                    local_gammas[rank], eta,
+            with _timed("score", rank):
+                scores = fused_round_scores(
+                    bt_inv,
+                    sigma_star,
+                    local_X[rank],
+                    local_gammas[rank],
+                    eta,
+                    chunk_size=cfg.score_chunk_size,
+                    workspace=local_workspaces[rank],
                 )
                 if not cfg.allow_repeats:
                     scores = xp.where(local_available[rank], scores, -xp.inf)
@@ -158,14 +172,14 @@ def distributed_round(
         local_available[owner][owner_local_index] = False
 
         # Line 8 + bcast of the winner's (x, h) to all ranks.
-        x_sel = SimulatedComm.bcast(
-            backend.ascompute(shards[owner].pool_features[owner_local_index]), comm_log
-        )
+        x_sel = SimulatedComm.bcast(local_X[owner][owner_local_index], comm_log)
         gamma_sel = SimulatedComm.bcast(local_gammas[owner][owner_local_index], comm_log)
-        with _timed("other", 0):
-            rank_one = backend.einsum("k,d,e->kde", gamma_sel, x_sel, x_sel)
+        with _timed("update_accumulated", 0):
+            # Same elementwise formulation as the serial solver so the SPMD
+            # trajectory matches it bit-for-bit.
+            rank_one = gamma_sel[:, None, None] * (x_sel[:, None] * x_sel[None, :])[None]
             accumulated = BlockDiagonalMatrix(
-                accumulated.blocks + backend.ascompute(labeled_blocks.blocks) / budget + rank_one,
+                accumulated.blocks + labeled_over_budget + rank_one,
                 copy=False,
             )
 
@@ -184,7 +198,7 @@ def distributed_round(
         eigenvalues = SimulatedComm.allgather(local_eigs, comm_log)
 
         # Lines 10-11: nu bisection and the refreshed B_{t+1}^{-1} (replicated).
-        with _timed("other", 0):
+        with _timed("refresh_inverse", 0):
             nu = find_ftrl_nu(eta * eigenvalues)
             bt_inv = (
                 sigma_star * nu + accumulated * eta + labeled_blocks * (eta / budget)

@@ -39,9 +39,10 @@ def round_step_model(
 ) -> Dict[str, float]:
     """Theoretical seconds per ROUND iteration (one selection), by component.
 
-    Returns a dict with keys ``objective_function``, ``compute_eigenvalues``,
-    ``other``, ``communication`` and ``total`` — the legend of Fig. 7 and
-    Fig. 5(C)/(D).
+    Returns a dict with keys ``score`` (the Eq.-17 objective evaluation; the
+    measured counterpart is the fused-scoring region of the same name),
+    ``compute_eigenvalues``, ``other``, ``communication`` and ``total`` — the
+    legend of Fig. 7 and Fig. 5(C)/(D).
     """
 
     require(num_points > 0 and dimension > 0 and num_classes > 0, "sizes must be positive")
@@ -57,7 +58,7 @@ def round_step_model(
     other_flops = 2.0 * c * d**3  # B_{t+1} assembly + batched inversion (replicated)
 
     times = {
-        "objective_function": machine.compute_seconds(objective_flops),
+        "score": machine.compute_seconds(objective_flops),
         "compute_eigenvalues": machine.compute_seconds(eigen_flops),
         "other": machine.compute_seconds(other_flops),
     }

@@ -86,7 +86,7 @@ class TestDistributedRound:
 
     def test_per_rank_timings_populated(self, dataset, z_relaxed):
         result = distributed_round(dataset, z_relaxed, 3, 1.0, num_ranks=2)
-        assert result.per_rank_seconds["objective_function"].shape == (2,)
+        assert result.per_rank_seconds["score"].shape == (2,)
         assert result.compute_seconds() > 0
 
     def test_invalid_inputs_rejected(self, dataset, z_relaxed):
@@ -114,7 +114,7 @@ class TestSimulatedCluster:
             dataset, z_relaxed, eta=1.0, num_ranks=2, budget=2
         )
         assert measurement.step == "round"
-        assert "objective_function" in measurement.measured_compute
+        assert "score" in measurement.measured_compute
         assert measurement.theoretical_total() > 0
 
     def test_strong_scaling_returns_one_measurement_per_rank_count(self, dataset):

@@ -155,7 +155,7 @@ class TestStepModels:
         times = round_step_model(
             A100_MACHINE, num_points=1_300_000, dimension=383, num_classes=1000, num_ranks=3
         )
-        for key in ("objective_function", "compute_eigenvalues", "communication", "total"):
+        for key in ("score", "compute_eigenvalues", "communication", "total"):
             assert times[key] > 0
 
     def test_round_eigenvalues_scale_down_with_ranks(self):
@@ -169,7 +169,7 @@ class TestStepModels:
     def test_round_scales_linearly_in_classes(self):
         base = round_step_model(A100_MACHINE, num_points=1_300_000, dimension=383, num_classes=100)
         big = round_step_model(A100_MACHINE, num_points=1_300_000, dimension=383, num_classes=1000)
-        assert big["objective_function"] / base["objective_function"] == pytest.approx(10.0, rel=0.05)
+        assert big["score"] / base["score"] == pytest.approx(10.0, rel=0.05)
 
     def test_invalid_sizes_rejected(self):
         with pytest.raises(ValueError):
