@@ -1,0 +1,190 @@
+"""Per-round wall clock of a multi-round active-learning run.
+
+The ISSUE-3 acceptance benchmark: run the Fig.-2 protocol for 10 consecutive
+FIRAL rounds and measure what each round costs under
+
+* the **legacy** driver path (``run_active_learning`` with the default,
+  bit-identical-to-history ``SessionConfig``): every round recomputes pool
+  *and* labeled probabilities, reassembles the labeled-Fisher block diagonal
+  from scratch at every preconditioner refresh, re-runs the full § IV-A η
+  grid search (``len(eta_grid)`` ROUND solves), and RELAX restarts from the
+  uniform simplex point; versus
+* the **session** engine fast path (``SessionConfig.fast()``): resident
+  promoted pool with a per-round ``B(H_o)`` cache, and reuse of the previous
+  round's winning η (one ROUND solve per round after the first).
+
+``relax_warm_start`` and ``incremental_fisher`` were measured too and stay
+out of ``fast()`` — see ``SessionConfig.fast`` for the measured reasons (the
+``cg_warm_start`` precedent: documented either way, default off).  Because
+the end-to-end shape is CG-dominated with a small labeled set, the payload
+additionally carries a ``fisher_maintenance`` series that isolates the
+incremental accumulator's own per-round cost against the from-scratch
+``B(H_o)`` reassembly as the labeled set grows — the ``O(b c d^2)`` vs
+``O(m c d^2)`` crossover that dominates at production label counts.
+
+Run as a script:
+
+    PYTHONPATH=src python benchmarks/bench_active_rounds.py --mode legacy  --label before
+    PYTHONPATH=src python benchmarks/bench_active_rounds.py --mode session --label after
+    python benchmarks/compare.py results/BENCH_active_rounds_before.json \
+                                 results/BENCH_active_rounds_after.json
+
+The payload records per-round ``setup_seconds`` / ``selection_seconds``
+(see :class:`repro.active.results.RoundRecord`), the accuracy curve and the
+selected global ids, so a diff shows not just *how fast* but also how much
+the opt-in approximations (documented in ``repro.engine.session``) moved the
+selections — the ``cg_warm_start`` precedent of reporting the measurement
+either way.  ``--tiny`` switches to a seconds-scale shape for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.baselines.base import FIRALStrategy
+from repro.core.config import RelaxConfig, RoundConfig
+from repro.core.firal import ApproxFIRAL
+from repro.datasets.registry import build_problem
+from repro.engine.session import ActiveSession, SessionConfig
+from repro.fisher.accumulator import LabeledFisherAccumulator
+from repro.fisher.hessian import block_diagonal_of_sum
+
+from _utils import bench_payload, random_probabilities, write_bench_json
+
+REFERENCE_SHAPE = {"dataset": "cifar10", "scale": 0.25, "rounds": 10, "budget": 10}
+TINY_SHAPE = {"dataset": "cifar10", "scale": 0.05, "rounds": 4, "budget": 5}
+
+
+def make_strategy(relax_iterations: int = 20) -> FIRALStrategy:
+    """Approx-FIRAL in the § IV-A configuration: η grid-searched per round.
+
+    The grid is exactly the per-round redundancy the session's ``reuse_eta``
+    removes, so the benchmark keeps it enabled rather than pinning η."""
+
+    return FIRALStrategy(
+        ApproxFIRAL(
+            RelaxConfig(max_iterations=relax_iterations, seed=0, reuse_buffers=True),
+            RoundConfig(),
+        )
+    )
+
+
+def fisher_maintenance_series(
+    *, dimension: int = 128, num_classes: int = 9, initial: int = 200, budget: int = 100, rounds: int = 10, seed: int = 0
+) -> dict:
+    """Per-round cost of keeping ``B(H_o)`` current as the labeled set grows.
+
+    Legacy maintenance recomputes ``block_diagonal_of_sum`` over all ``m``
+    labeled points (``O(m c d^2)``, and the driver pays it at *every*
+    preconditioner refresh); the accumulator adds only the round's batch
+    (``O(b c d^2)``, independent of ``m``).  Measured at a
+    production-representative ``d`` where the assembly einsum is non-trivial.
+    """
+
+    rng = np.random.default_rng(seed)
+    features = rng.standard_normal((initial + budget * rounds, dimension))
+    probs = random_probabilities(rng, initial + budget * rounds, num_classes)
+
+    acc = LabeledFisherAccumulator(dimension, num_classes)
+    acc.add(features[:initial], probs[:initial])
+    from_scratch_seconds, incremental_seconds, labeled_counts = [], [], []
+    for r in range(rounds):
+        lo = initial + r * budget
+        hi = lo + budget
+        labeled_counts.append(hi)
+        t0 = time.perf_counter()
+        block_diagonal_of_sum(features[:hi], probs[:hi])
+        from_scratch_seconds.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        acc.add(features[lo:hi], probs[lo:hi])
+        incremental_seconds.append(time.perf_counter() - t0)
+
+    return {
+        "dimension": dimension,
+        "num_classes": num_classes,
+        "budget": budget,
+        "labeled_counts": labeled_counts,
+        "from_scratch_seconds": from_scratch_seconds,
+        "incremental_seconds": incremental_seconds,
+        "final_round_speedup": from_scratch_seconds[-1] / max(incremental_seconds[-1], 1e-12),
+    }
+
+
+def run(shape: dict, mode: str, *, seed: int = 0) -> dict:
+    problem = build_problem(shape["dataset"], scale=shape["scale"], seed=seed)
+    config = SessionConfig.fast() if mode == "session" else SessionConfig()
+    session = ActiveSession(
+        problem,
+        make_strategy(),
+        budget_per_round=shape["budget"],
+        num_rounds=shape["rounds"],
+        seed=seed,
+        config=config,
+    )
+
+    round_seconds = []
+    start = time.perf_counter()
+    for _ in range(shape["rounds"]):
+        t0 = time.perf_counter()
+        session.step()
+        round_seconds.append(time.perf_counter() - t0)
+    total_seconds = time.perf_counter() - start
+
+    records = session.result.records
+    return bench_payload(
+        "active_rounds",
+        wall_clock_seconds=total_seconds,
+        mode=mode,
+        shape=shape,
+        pool_size=problem.pool_size,
+        dimension=problem.dimension,
+        num_classes=problem.num_classes,
+        round_seconds=round_seconds,
+        mean_round_seconds=total_seconds / shape["rounds"],
+        setup_seconds=[r.setup_seconds for r in records],
+        selection_seconds=[r.selection_seconds for r in records],
+        eval_accuracy=[r.eval_accuracy for r in records],
+        final_eval_accuracy=records[-1].eval_accuracy,
+        selected_global_ids=[int(g) for g in session.store.labeled_ids[problem.initial_size:]],
+        session_config={
+            "incremental_fisher": config.incremental_fisher,
+            "relax_warm_start": config.relax_warm_start,
+            "reuse_eta": config.reuse_eta,
+            "resident_pool": config.resident_pool,
+        },
+        fisher_maintenance=fisher_maintenance_series(),
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--mode",
+        choices=("legacy", "session"),
+        default="session",
+        help="legacy = default (bit-identical) config; session = SessionConfig.fast()",
+    )
+    parser.add_argument("--label", default=None, help="suffix for the BENCH json filename")
+    parser.add_argument("--tiny", action="store_true", help="CI-smoke shape (seconds, not minutes)")
+    args = parser.parse_args()
+
+    shape = TINY_SHAPE if args.tiny else REFERENCE_SHAPE
+    payload = run(shape, args.mode)
+    name = "active_rounds"
+    if args.tiny:
+        name += "_tiny"
+    name += f"_{args.label}" if args.label else f"_{args.mode}"
+    path = write_bench_json(name, payload)
+    print(f"wrote {path}")
+    print(
+        f"{args.mode}: {payload['wall_clock_seconds']:.2f}s total, "
+        f"{payload['mean_round_seconds']:.3f}s/round "
+        f"(final eval acc {payload['final_eval_accuracy']:.4f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

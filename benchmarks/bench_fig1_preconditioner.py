@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.config import RelaxConfig
 from repro.datasets.registry import DatasetSpec, build_problem
 from repro.fisher.operators import FisherDataset, SigmaOperator
 from repro.linalg.cg import conjugate_gradient

@@ -13,7 +13,6 @@ K-Means fall *below* Random on ImageNet-1k).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.active.experiment import run_active_learning, run_trials
 from repro.baselines import EntropyStrategy, FIRALStrategy, KMeansStrategy, RandomStrategy

@@ -11,7 +11,6 @@ close to the exact one and (b) the spread across parameter settings is small.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.approx_relax import approx_relax
 from repro.core.config import RelaxConfig

@@ -10,7 +10,6 @@ from __future__ import annotations
 import time
 
 import numpy as np
-import pytest
 
 from repro.fisher.hessian import point_hessian_dense
 from repro.fisher.matvec import single_point_hessian_matvec

@@ -17,12 +17,10 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-import pytest
 
 from repro.core.approx_relax import approx_relax
 from repro.core.approx_round import approx_round
-from repro.core.config import RelaxConfig, RoundConfig
+from repro.core.config import RelaxConfig
 from repro.core.exact_relax import exact_relax
 from repro.core.exact_round import exact_round
 from repro.datasets.registry import DatasetSpec, build_problem

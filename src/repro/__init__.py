@@ -46,6 +46,7 @@ from repro.fisher import FisherDataset
 from repro.models import LogisticRegressionClassifier
 from repro.datasets import DatasetSpec, build_problem, get_dataset_spec, list_dataset_names
 from repro.active import ActiveLearningProblem, run_active_learning, run_trials
+from repro.engine import ActiveSession, SessionConfig
 
 __version__ = "1.0.0"
 
@@ -79,4 +80,6 @@ __all__ = [
     "ActiveLearningProblem",
     "run_active_learning",
     "run_trials",
+    "ActiveSession",
+    "SessionConfig",
 ]

@@ -14,47 +14,28 @@ One experiment runs as follows (matching § IV-A):
 The classifier hyperparameters stay fixed across rounds.  Stochastic
 strategies (Random, K-Means) are repeated over several trials and aggregated
 with mean ± std (the paper uses 10 trials).
+
+Since the session-engine refactor these functions are thin wrappers over
+:class:`repro.engine.ActiveSession` — the object that actually owns the
+round loop's state.  With the default (legacy-equivalent)
+:class:`~repro.engine.SessionConfig` the wrapper reproduces the historical
+driver bit-identically on the NumPy backend; passing a config (e.g.
+``SessionConfig.fast()``) opts into the cross-round optimizations.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
-import numpy as np
-
 from repro.active.problem import ActiveLearningProblem
-from repro.active.results import AggregateResult, ExperimentResult, RoundRecord
-from repro.baselines.base import SelectionContext, SelectionStrategy
+from repro.active.results import AggregateResult, ExperimentResult
+from repro.baselines.base import SelectionStrategy
+from repro.engine.session import ActiveSession, SessionConfig
 from repro.models.logistic_regression import LogisticRegressionClassifier
-from repro.models.metrics import accuracy, class_balanced_accuracy
-from repro.utils.random import as_generator, spawn_generators
+from repro.utils.random import spawn_generators
 from repro.utils.validation import require
 
 __all__ = ["run_active_learning", "run_trials"]
-
-
-def _evaluate(
-    classifier: LogisticRegressionClassifier,
-    problem: ActiveLearningProblem,
-    pool_features: np.ndarray,
-    pool_labels: np.ndarray,
-    num_labeled: int,
-    selection_seconds: float,
-) -> RoundRecord:
-    pool_acc = (
-        accuracy(pool_labels, classifier.predict(pool_features)) if pool_features.shape[0] > 0 else 1.0
-    )
-    eval_pred = classifier.predict(problem.eval_features)
-    return RoundRecord(
-        num_labeled=num_labeled,
-        pool_accuracy=pool_acc,
-        eval_accuracy=accuracy(problem.eval_labels, eval_pred),
-        balanced_eval_accuracy=class_balanced_accuracy(
-            problem.eval_labels, eval_pred, problem.num_classes
-        ),
-        selection_seconds=selection_seconds,
-    )
 
 
 def run_active_learning(
@@ -66,6 +47,7 @@ def run_active_learning(
     classifier: Optional[LogisticRegressionClassifier] = None,
     seed=0,
     record_initial: bool = True,
+    config: Optional[SessionConfig] = None,
 ) -> ExperimentResult:
     """Run one active-learning experiment and return its accuracy curve.
 
@@ -87,62 +69,22 @@ def run_active_learning(
     record_initial:
         Whether to record the accuracy of the classifier trained only on the
         initial labeled set (the leftmost point of the Fig. 2 curves).
+    config:
+        Optional :class:`~repro.engine.SessionConfig`; the default reproduces
+        the legacy driver exactly.
     """
 
     require(num_rounds > 0, "num_rounds must be positive")
-    require(budget_per_round > 0, "budget_per_round must be positive")
-    require(
-        num_rounds * budget_per_round <= problem.pool_size,
-        "total budget exceeds the pool size",
+    session = ActiveSession(
+        problem,
+        strategy,
+        budget_per_round=budget_per_round,
+        num_rounds=num_rounds,
+        classifier=classifier,
+        seed=seed,
+        config=config,
     )
-
-    rng = as_generator(seed)
-    clf = classifier if classifier is not None else LogisticRegressionClassifier(problem.num_classes)
-
-    labeled_features = problem.initial_features.copy()
-    labeled_labels = problem.initial_labels.copy()
-    pool_features = problem.pool_features.copy()
-    pool_labels = problem.pool_labels.copy()
-
-    result = ExperimentResult(strategy_name=strategy.name, dataset_name=problem.name)
-
-    clf.fit(labeled_features, labeled_labels)
-    if record_initial:
-        result.records.append(
-            _evaluate(clf, problem, pool_features, pool_labels, labeled_labels.shape[0], 0.0)
-        )
-
-    for _ in range(num_rounds):
-        pool_probabilities = clf.predict_proba(pool_features)
-        labeled_probabilities = clf.predict_proba(labeled_features)
-        context = SelectionContext(
-            pool_features=pool_features,
-            pool_probabilities=pool_probabilities,
-            labeled_features=labeled_features,
-            labeled_probabilities=labeled_probabilities,
-            budget=budget_per_round,
-            rng=rng,
-        )
-        start = time.perf_counter()
-        selected = np.asarray(strategy.select(context), dtype=np.int64)
-        selection_seconds = time.perf_counter() - start
-
-        # Oracle labeling: move the selected points from the pool to the labeled set.
-        labeled_features = np.concatenate([labeled_features, pool_features[selected]], axis=0)
-        labeled_labels = np.concatenate([labeled_labels, pool_labels[selected]], axis=0)
-        keep = np.ones(pool_features.shape[0], dtype=bool)
-        keep[selected] = False
-        pool_features = pool_features[keep]
-        pool_labels = pool_labels[keep]
-
-        clf.fit(labeled_features, labeled_labels)
-        result.records.append(
-            _evaluate(
-                clf, problem, pool_features, pool_labels, labeled_labels.shape[0], selection_seconds
-            )
-        )
-
-    return result
+    return session.run(num_rounds, record_initial=record_initial)
 
 
 def run_trials(
@@ -154,6 +96,7 @@ def run_trials(
     num_trials: int = 1,
     seed=0,
     classifier_factory=None,
+    config: Optional[SessionConfig] = None,
 ) -> AggregateResult:
     """Repeat an experiment over ``num_trials`` seeds and aggregate.
 
@@ -178,6 +121,7 @@ def run_trials(
                 budget_per_round=budget_per_round,
                 classifier=classifier,
                 seed=trial_rng,
+                config=config,
             )
         )
     return AggregateResult(

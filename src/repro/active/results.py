@@ -4,12 +4,18 @@
 ``AggregateResult`` summarizes several trials with mean ± std, which is how
 the paper reports the stochastic baselines (Random and K-Means are averaged
 over 10 trials in § IV-A).
+
+Both containers round-trip through plain JSON-compatible dictionaries
+(``to_dict``/``from_dict``) and files (``save``/``load``) so long multi-round
+runs can be checkpointed and plotted offline.
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Sequence
 
 import numpy as np
 
@@ -20,13 +26,22 @@ __all__ = ["RoundRecord", "ExperimentResult", "AggregateResult"]
 
 @dataclass
 class RoundRecord:
-    """Accuracy snapshot after retraining on a given number of labels."""
+    """Accuracy snapshot after retraining on a given number of labels.
+
+    ``selection_seconds`` times the strategy's ``select`` call only;
+    ``setup_seconds`` times the per-round work the driver performs *before*
+    handing over — materializing the pool view and running ``predict_proba``
+    over pool and labeled points, a real cost for FIRAL whose inputs are
+    those probabilities.  The round's full selection-side wall clock is the
+    sum of the two.
+    """
 
     num_labeled: int
     pool_accuracy: float
     eval_accuracy: float
     balanced_eval_accuracy: float
     selection_seconds: float = 0.0
+    setup_seconds: float = 0.0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -35,7 +50,22 @@ class RoundRecord:
             "eval_accuracy": self.eval_accuracy,
             "balanced_eval_accuracy": self.balanced_eval_accuracy,
             "selection_seconds": self.selection_seconds,
+            "setup_seconds": self.setup_seconds,
         }
+
+    # ``as_dict`` predates the serialization API and is kept as an alias.
+    to_dict = as_dict
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RoundRecord":
+        return cls(
+            num_labeled=int(data["num_labeled"]),
+            pool_accuracy=float(data["pool_accuracy"]),
+            eval_accuracy=float(data["eval_accuracy"]),
+            balanced_eval_accuracy=float(data["balanced_eval_accuracy"]),
+            selection_seconds=float(data.get("selection_seconds", 0.0)),
+            setup_seconds=float(data.get("setup_seconds", 0.0)),
+        )
 
 
 @dataclass
@@ -65,6 +95,37 @@ class ExperimentResult:
     def final_pool_accuracy(self) -> float:
         require(len(self.records) > 0, "experiment has no records")
         return self.records[-1].pool_accuracy
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible representation (inverse of :meth:`from_dict`)."""
+
+        return {
+            "strategy_name": self.strategy_name,
+            "dataset_name": self.dataset_name,
+            "records": [r.as_dict() for r in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentResult":
+        return cls(
+            strategy_name=str(data["strategy_name"]),
+            dataset_name=str(data["dataset_name"]),
+            records=[RoundRecord.from_dict(r) for r in data.get("records", [])],
+        )
+
+    def save(self, path) -> pathlib.Path:
+        """Write the result as JSON to ``path`` (checkpointing long runs)."""
+
+        p = pathlib.Path(path)
+        p.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return p
+
+    @classmethod
+    def load(cls, path) -> "ExperimentResult":
+        return cls.from_dict(json.loads(pathlib.Path(path).read_text()))
 
     def to_table(self) -> str:
         """Format the curve as an aligned text table (one row per round)."""
@@ -118,6 +179,37 @@ class AggregateResult:
 
     def mean_balanced_eval_accuracy(self) -> np.ndarray:
         return self._stack(ExperimentResult.balanced_eval_accuracy).mean(axis=0)
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible representation (inverse of :meth:`from_dict`)."""
+
+        return {
+            "strategy_name": self.strategy_name,
+            "dataset_name": self.dataset_name,
+            "trials": [t.to_dict() for t in self.trials],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AggregateResult":
+        return cls(
+            strategy_name=str(data["strategy_name"]),
+            dataset_name=str(data["dataset_name"]),
+            trials=[ExperimentResult.from_dict(t) for t in data.get("trials", [])],
+        )
+
+    def save(self, path) -> pathlib.Path:
+        """Write the aggregate (all trials) as JSON to ``path``."""
+
+        p = pathlib.Path(path)
+        p.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return p
+
+    @classmethod
+    def load(cls, path) -> "AggregateResult":
+        return cls.from_dict(json.loads(pathlib.Path(path).read_text()))
 
     def to_table(self) -> str:
         """Aligned text table of mean ± std accuracy per label count."""

@@ -37,6 +37,7 @@ class Workspace:
     def __init__(self, backend: ArrayBackend):
         self.backend = backend
         self._buffers: Dict[Tuple[str, Tuple[int, ...], str], Array] = {}
+        self._touched: set = set()
 
     def get(self, name: str, shape, dtype, *, zero: bool = False) -> Array:
         """Return the (possibly newly allocated) buffer for ``name``/``shape``.
@@ -52,12 +53,32 @@ class Workspace:
         if buf is None:
             buf = self.backend.empty(key[1], dtype=dtype)
             self._buffers[key] = buf
+        self._touched.add(key)
         if zero:
             buf[...] = 0
         return buf
+
+    def prune(self) -> int:
+        """Drop buffers not requested since the previous :meth:`prune`.
+
+        A workspace held across active-learning rounds sees the pool-sized
+        buffer shapes shrink as points are labeled; each new pool size mints
+        new ``(name, shape)`` keys while the previous round's buffers go
+        dead.  Calling ``prune()`` once per round keeps only the keys the
+        round actually used (the shape-stable probe/CG buffers survive,
+        stale pool-sized ones are released).  Returns how many buffers were
+        dropped.
+        """
+
+        stale = [key for key in self._buffers if key not in self._touched]
+        for key in stale:
+            del self._buffers[key]
+        self._touched = set()
+        return len(stale)
 
     def __len__(self) -> int:
         return len(self._buffers)
 
     def clear(self) -> None:
         self._buffers.clear()
+        self._touched = set()

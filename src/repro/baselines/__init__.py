@@ -6,7 +6,15 @@ three live here; the FIRAL variants live in :mod:`repro.core` and are adapted
 to the common strategy interface by :class:`repro.baselines.FIRALStrategy`.
 """
 
-from repro.baselines.base import SelectionContext, SelectionStrategy, FIRALStrategy
+from repro.baselines.base import (
+    SelectionContext,
+    SelectionStrategy,
+    SessionInfo,
+    LabelObservation,
+    StatelessStrategyAdapter,
+    ensure_lifecycle,
+    FIRALStrategy,
+)
 from repro.baselines.random_sampling import RandomStrategy
 from repro.baselines.kmeans import KMeansStrategy, kmeans, kmeans_plus_plus_init
 from repro.baselines.entropy import EntropyStrategy, predictive_entropy
@@ -14,6 +22,10 @@ from repro.baselines.entropy import EntropyStrategy, predictive_entropy
 __all__ = [
     "SelectionContext",
     "SelectionStrategy",
+    "SessionInfo",
+    "LabelObservation",
+    "StatelessStrategyAdapter",
+    "ensure_lifecycle",
     "FIRALStrategy",
     "RandomStrategy",
     "KMeansStrategy",

@@ -1,15 +1,30 @@
-"""Common interface for batch selection strategies.
+"""Common interface and lifecycle protocol for batch selection strategies.
 
-The active-learning experiment driver (Fig. 2/3 reproduction) treats every
+The active-learning drivers (the legacy :func:`repro.active.run_active_learning`
+wrapper and the stateful :class:`repro.engine.ActiveSession`) treat every
 method — Random, K-Means, Entropy, Exact-FIRAL, Approx-FIRAL — as a
 :class:`SelectionStrategy`: given the current pool, the current classifier's
 probabilities and the labeling budget, return the indices to label next.
+
+Strategies additionally participate in a **session lifecycle** so that
+methods with cross-round state (FIRAL's RELAX warm start, importance-weighted
+pools, incremental posteriors) can persist it through a run:
+
+* :meth:`SelectionStrategy.begin_session` — called once before the first
+  round with a :class:`SessionInfo` describing the run;
+* :meth:`SelectionStrategy.select` — called once per round;
+* :meth:`SelectionStrategy.observe_labels` — called after each round's oracle
+  reveal with a :class:`LabelObservation`.
+
+Both lifecycle hooks default to no-ops, so the stateless baselines are
+untouched call sites; duck-typed objects that only implement ``select`` are
+wrapped by :func:`ensure_lifecycle` into a :class:`StatelessStrategyAdapter`.
 """
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
@@ -18,7 +33,75 @@ from repro.fisher.operators import FisherDataset
 from repro.utils.random import as_generator
 from repro.utils.validation import check_features, check_probabilities, require
 
-__all__ = ["SelectionContext", "SelectionStrategy", "FIRALStrategy"]
+__all__ = [
+    "SelectionContext",
+    "SelectionStrategy",
+    "SessionInfo",
+    "LabelObservation",
+    "StatelessStrategyAdapter",
+    "ensure_lifecycle",
+    "FIRALStrategy",
+]
+
+
+@dataclass
+class SessionInfo:
+    """Run-level facts handed to strategies at ``begin_session``.
+
+    Attributes
+    ----------
+    num_classes / dimension:
+        Problem shape.
+    budget_per_round:
+        Points labeled per round (``b``).
+    pool_size:
+        Pool size at session start.
+    num_rounds:
+        Planned number of rounds, when the driver knows it (``None`` for
+        open-ended sessions driven round by round).
+    relax_warm_start:
+        Whether the session asks FIRAL-style strategies to warm-start their
+        continuous solver from the previous round's solution (see
+        ``SessionConfig.relax_warm_start``).  Strategies without such state
+        ignore it.
+    reuse_eta:
+        Whether the session asks FIRAL-style strategies to reuse the previous
+        round's winning FTRL learning rate η instead of re-running the § IV-A
+        grid search every round (see ``SessionConfig.reuse_eta``).
+    """
+
+    num_classes: int
+    dimension: int
+    budget_per_round: int
+    pool_size: int
+    num_rounds: Optional[int] = None
+    relax_warm_start: bool = False
+    reuse_eta: bool = False
+
+
+@dataclass
+class LabelObservation:
+    """What the oracle revealed after one round's selection.
+
+    Attributes
+    ----------
+    round_index:
+        0-based index of the round that just finished.
+    pool_indices:
+        The selected indices *as returned by the strategy* — positions in the
+        pool view that round's :class:`SelectionContext` exposed.
+    global_ids:
+        Stable point ids of the same selection (ids never shift as the pool
+        shrinks; see :class:`repro.engine.PointStore`).  Empty when the
+        driver does not track global ids.
+    labels:
+        The revealed labels, aligned with ``pool_indices``.
+    """
+
+    round_index: int
+    pool_indices: np.ndarray
+    global_ids: np.ndarray
+    labels: np.ndarray
 
 
 @dataclass
@@ -39,6 +122,18 @@ class SelectionContext:
         Number of points ``b`` to pick this round.
     rng:
         Generator for stochastic strategies (Random, K-Means init).
+    pool_ids:
+        Optional stable global ids of the pool rows (session engine only).
+        ``pool_ids[i]`` identifies ``pool_features[i]`` across rounds even as
+        the pool shrinks; stateful strategies use it to carry per-point state
+        forward.
+    round_index:
+        Optional 0-based round counter (session engine only).
+    prepared_fisher:
+        Optional pre-assembled Fisher dataset.  The session engine builds it
+        from session-resident (possibly device-resident) arrays — including a
+        cached/incremental ``B(H_o)`` — so :meth:`fisher_dataset` can return
+        it instead of re-deriving everything from the host views above.
     """
 
     pool_features: np.ndarray
@@ -47,6 +142,9 @@ class SelectionContext:
     labeled_probabilities: np.ndarray
     budget: int
     rng: np.random.Generator
+    pool_ids: Optional[np.ndarray] = None
+    round_index: Optional[int] = None
+    prepared_fisher: Optional[FisherDataset] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         self.pool_features = check_features(self.pool_features, "pool_features")
@@ -61,14 +159,26 @@ class SelectionContext:
             "budget exceeds the number of pool points",
         )
         self.rng = as_generator(self.rng)
+        if self.pool_ids is not None:
+            self.pool_ids = np.asarray(self.pool_ids, dtype=np.int64).ravel()
+            require(
+                self.pool_ids.shape[0] == self.pool_features.shape[0],
+                "pool_ids must have one id per pool point",
+            )
 
     def fisher_dataset(self) -> FisherDataset:
         """Bundle the context into the Fisher container FIRAL consumes.
 
-        The full ``(n, c)`` probability matrices are converted to the paper's
-        reduced ``(n, c-1)`` parameterization (Eq. 1), which removes the
-        softmax null space and keeps ``Sigma_z`` well conditioned.
+        When the driver threaded in a :attr:`prepared_fisher` (the session
+        engine's resident-pool path), that instance is returned directly.
+        Otherwise the full ``(n, c)`` probability matrices are converted to
+        the paper's reduced ``(n, c-1)`` parameterization (Eq. 1), which
+        removes the softmax null space and keeps ``Sigma_z`` well
+        conditioned.
         """
+
+        if self.prepared_fisher is not None:
+            return self.prepared_fisher
 
         from repro.models.softmax import reduced_probabilities
 
@@ -81,7 +191,12 @@ class SelectionContext:
 
 
 class SelectionStrategy(abc.ABC):
-    """Base class for batch selection methods."""
+    """Base class for batch selection methods.
+
+    Subclasses implement :meth:`select`; the lifecycle hooks
+    :meth:`begin_session` / :meth:`observe_labels` default to no-ops so
+    stateless strategies need not know sessions exist.
+    """
 
     #: human-readable method name used in result tables / plots
     name: str = "strategy"
@@ -89,9 +204,22 @@ class SelectionStrategy(abc.ABC):
     #: whether repeated trials with different seeds give different selections
     is_stochastic: bool = False
 
+    #: whether :meth:`select` calls ``context.fisher_dataset()``.  Drivers use
+    #: this to skip pre-assembling Fisher inputs (promoted gathers, the
+    #: ``B(H_o)`` cache) for strategies that never read them; a strategy that
+    #: leaves it ``False`` and still calls ``fisher_dataset()`` just gets the
+    #: host-array fallback construction.
+    consumes_fisher: bool = False
+
+    def begin_session(self, info: SessionInfo) -> None:
+        """Lifecycle hook: a multi-round session is starting (no-op default)."""
+
     @abc.abstractmethod
     def select(self, context: SelectionContext) -> np.ndarray:
         """Return ``budget`` distinct pool indices to label next."""
+
+    def observe_labels(self, observation: LabelObservation) -> None:
+        """Lifecycle hook: the oracle revealed a round's labels (no-op default)."""
 
     def _validate_selection(self, indices: np.ndarray, context: SelectionContext) -> np.ndarray:
         indices = np.asarray(indices, dtype=np.int64).ravel()
@@ -104,25 +232,150 @@ class SelectionStrategy(abc.ABC):
         return indices
 
 
+class StatelessStrategyAdapter(SelectionStrategy):
+    """Wrap a bare ``select(context)`` object into the lifecycle protocol.
+
+    Lets externally defined duck-typed strategies (anything exposing
+    ``select``) run under the session engine without subclassing
+    :class:`SelectionStrategy`; the lifecycle hooks stay no-ops.
+    """
+
+    def __init__(self, strategy):
+        require(hasattr(strategy, "select"), "strategy must expose a select() method")
+        self.wrapped = strategy
+        self.name = getattr(strategy, "name", type(strategy).__name__)
+        self.is_stochastic = bool(getattr(strategy, "is_stochastic", False))
+        self.consumes_fisher = bool(getattr(strategy, "consumes_fisher", False))
+
+    def select(self, context: SelectionContext) -> np.ndarray:
+        return self._validate_selection(self.wrapped.select(context), context)
+
+
+def ensure_lifecycle(strategy) -> SelectionStrategy:
+    """Return ``strategy`` if it already speaks the lifecycle protocol, else wrap it."""
+
+    if isinstance(strategy, SelectionStrategy):
+        return strategy
+    if hasattr(strategy, "begin_session") and hasattr(strategy, "observe_labels"):
+        return strategy
+    return StatelessStrategyAdapter(strategy)
+
+
 class FIRALStrategy(SelectionStrategy):
     """Adapter exposing ``ExactFIRAL`` / ``ApproxFIRAL`` as a strategy.
+
+    The adapter is lifecycle-aware and carries two kinds of cross-round
+    state under the session engine:
+
+    * **RELAX warm start** (``relax_warm_start`` on the session, or
+      ``warm_start=True`` here): each round's mirror descent is initialized
+      from the previous round's relaxed weights ``z*`` restricted to the
+      surviving pool points — the cross-round analogue of the PR 2
+      ``cg_warm_start`` knob, and like it opt-in with the measurement
+      documented either way (see ``benchmarks/bench_active_rounds.py``).
+    * **η reuse** (``reuse_eta`` on the session, or ``reuse_eta=True``
+      here): the § IV-A grid search re-runs the ROUND solver for every
+      candidate η *every round*, yet the winning η is a property of the
+      problem scale and is stable across rounds; after the first round's
+      full search, subsequent rounds reuse the winner (one ROUND solve
+      instead of ``len(eta_grid)``).
+
+    Warm starting requires stable ids (``SelectionContext.pool_ids``), so it
+    silently stays cold under the id-less legacy driver; η reuse has no such
+    requirement but only engages when the session (or constructor) asks.
 
     Parameters
     ----------
     selector:
         An object with a ``select(dataset, budget) -> SelectionResult``
         method and a ``name`` attribute (both FIRAL classes qualify).
+    warm_start:
+        Force cross-round RELAX warm starting on (``True``) or off
+        (``False``); ``None`` (default) defers to the session's
+        ``SessionInfo.relax_warm_start``.
+    reuse_eta:
+        Force cross-round η reuse on/off; ``None`` (default) defers to the
+        session's ``SessionInfo.reuse_eta``.
     """
 
     is_stochastic = False
+    consumes_fisher = True
 
-    def __init__(self, selector):
+    def __init__(self, selector, *, warm_start: Optional[bool] = None, reuse_eta: Optional[bool] = None):
         require(hasattr(selector, "select"), "selector must expose a select() method")
         self.selector = selector
         self.name = getattr(selector, "name", "firal")
+        self.warm_start = warm_start
+        self.reuse_eta = reuse_eta
+        self.last_result = None
+        self._session_warm_start = False
+        self._session_reuse_eta = False
+        self._previous: Optional[tuple] = None  # (pool_ids, relaxed weights)
+        self._previous_eta: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def begin_session(self, info: SessionInfo) -> None:
+        self._session_warm_start = bool(info.relax_warm_start)
+        self._session_reuse_eta = bool(info.reuse_eta)
+        self._previous = None
+        self._previous_eta = None
         self.last_result = None
 
+    @property
+    def _warm_start_active(self) -> bool:
+        if self.warm_start is not None:
+            return self.warm_start
+        return self._session_warm_start
+
+    @property
+    def _reuse_eta_active(self) -> bool:
+        if self.reuse_eta is not None:
+            return self.reuse_eta
+        return self._session_reuse_eta
+
+    def _warm_start_weights(self, context: SelectionContext) -> Optional[np.ndarray]:
+        """Previous round's ``z*`` restricted to the surviving pool, or ``None``."""
+
+        if not self._warm_start_active or self._previous is None or context.pool_ids is None:
+            return None
+        prev_ids, prev_weights = self._previous
+        # Pool ids are kept sorted by the session engine; map each surviving
+        # id to its position in the previous round's pool.
+        positions = np.searchsorted(prev_ids, context.pool_ids)
+        valid = positions < prev_ids.size
+        positions = np.minimum(positions, prev_ids.size - 1)
+        valid &= prev_ids[positions] == context.pool_ids
+        if not bool(np.all(valid)):
+            # Pool gained points the previous solve never weighted (e.g. a
+            # replenished/streaming pool) — fall back to a cold start.
+            return None
+        return prev_weights[positions]
+
+    # ------------------------------------------------------------------ #
     def select(self, context: SelectionContext) -> np.ndarray:
-        result = self.selector.select(context.fisher_dataset(), context.budget)
+        dataset = context.fisher_dataset()
+        kwargs = {}
+        initial_weights = self._warm_start_weights(context)
+        if initial_weights is not None:
+            kwargs["initial_weights"] = initial_weights
+        if self._reuse_eta_active and self._previous_eta is not None:
+            kwargs["eta"] = self._previous_eta
+        result = self.selector.select(dataset, context.budget, **kwargs)
         self.last_result = result
+        relax = getattr(result, "relax", None)
+        # Only materialize warm-start state when it will be read: to_numpy on
+        # the relaxed weights forces a device sync under the torch backend.
+        if self._warm_start_active and context.pool_ids is not None and relax is not None:
+            from repro.backend import get_backend
+
+            self._previous = (
+                context.pool_ids.copy(),
+                np.asarray(get_backend().to_numpy(relax.weights), dtype=np.float64),
+            )
+        if self._reuse_eta_active:
+            round_result = getattr(result, "round", None)
+            if round_result is not None and getattr(round_result, "eta", None) is not None:
+                self._previous_eta = float(round_result.eta)
         return self._validate_selection(result.selected_indices, context)

@@ -38,6 +38,7 @@ from typing import Optional
 from repro.backend import COMPUTE_DTYPE, Workspace, get_backend
 from repro.core.config import RelaxConfig
 from repro.core.result import RelaxResult
+from repro.core.warm_start import initial_simplex_iterate
 from repro.fisher.matvec import probe_hessian_quadratic_forms
 from repro.fisher.objective import fisher_ratio_objective, fisher_ratio_objective_estimate
 from repro.fisher.operators import FisherDataset, SigmaOperator
@@ -53,6 +54,9 @@ def approx_relax(
     dataset: FisherDataset,
     budget: int,
     config: Optional[RelaxConfig] = None,
+    *,
+    initial_weights: Optional[Array] = None,
+    workspace: Optional[Workspace] = None,
 ) -> RelaxResult:
     """Run the fast RELAX solver and return the relaxed weights ``z*``.
 
@@ -64,6 +68,26 @@ def approx_relax(
         Number of points ``b`` to be selected (the simplex scale).
     config:
         Solver options (probes, CG tolerance, schedule, objective tracking).
+    initial_weights:
+        Optional warm start for the mirror-descent iterate: non-negative
+        weights over the pool (any positive scale — they are renormalized to
+        the simplex).  A session running consecutive rounds over the same
+        shrinking pool passes the previous round's ``z*`` restricted to the
+        surviving points; the default ``None`` starts from the uniform
+        distribution exactly as Algorithm 2 prescribes.  Warm starting moves
+        the *starting point* of a convex mirror-descent solve, not its
+        stationary points, but with a finite iteration budget /
+        objective-change stopping rule the iterate path (and hence the
+        returned ``z*``) differs from a cold start — which is why the session
+        engine keeps it opt-in (``SessionConfig.relax_warm_start``),
+        mirroring the ``cg_warm_start`` precedent.
+    workspace:
+        Optional externally owned scratch-buffer pool.  When the caller runs
+        many solves (one per active-learning round), passing the same
+        workspace lets shape-stable buffers (probes, einsum intermediates)
+        survive across rounds instead of being reallocated per solve.  Only
+        consulted when ``config.reuse_buffers`` is enabled; when omitted, a
+        per-solve workspace is created as before.
     """
 
     require(budget > 0, "budget must be positive")
@@ -75,9 +99,12 @@ def approx_relax(
     dc = dataset.joint_dimension
     timings = TimingBreakdown()
     # Optional preallocated scratch buffers (see RelaxConfig.reuse_buffers).
-    workspace = Workspace(backend) if cfg.reuse_buffers else None
+    if cfg.reuse_buffers:
+        workspace = workspace if workspace is not None else Workspace(backend)
+    else:
+        workspace = None
 
-    z = backend.full((n,), 1.0 / n, dtype=COMPUTE_DTYPE)
+    z = initial_simplex_iterate(n, initial_weights)
     objective_trace = []
     first_cg_history: list = []
     cg_iteration_history: list = []

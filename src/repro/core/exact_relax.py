@@ -15,9 +15,10 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.backend import Array, COMPUTE_DTYPE, get_backend
+from repro.backend import Array, get_backend
 from repro.core.config import RelaxConfig
 from repro.core.result import RelaxResult
+from repro.core.warm_start import initial_simplex_iterate
 from repro.fisher.objective import fisher_ratio_objective
 from repro.fisher.operators import FisherDataset
 from repro.utils.timing import TimingBreakdown
@@ -74,6 +75,8 @@ def exact_relax(
     dataset: FisherDataset,
     budget: int,
     config: Optional[RelaxConfig] = None,
+    *,
+    initial_weights: Optional[Array] = None,
 ) -> RelaxResult:
     """Run the exact RELAX solver and return the relaxed weights ``z*``.
 
@@ -86,6 +89,11 @@ def exact_relax(
     config:
         Solver options; ``track_objective`` is forced to ``"exact"`` because
         the dense objective is already cheap relative to the exact gradient.
+    initial_weights:
+        Optional warm start for the mirror-descent iterate (same semantics as
+        :func:`repro.core.approx_relax.approx_relax`): non-negative pool
+        weights, renormalized to the simplex with a strictly positive floor.
+        ``None`` starts uniform as in Algorithm 1.
     """
 
     require(budget > 0, "budget must be positive")
@@ -95,7 +103,7 @@ def exact_relax(
     n = dataset.num_pool
     timings = TimingBreakdown()
 
-    z = backend.full((n,), 1.0 / n, dtype=COMPUTE_DTYPE)
+    z = initial_simplex_iterate(n, initial_weights)
     objective_trace = []
     converged = False
 

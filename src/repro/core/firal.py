@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.backend import get_backend
+from repro.backend import Array, Workspace, get_backend
 from repro.core.approx_relax import approx_relax
 from repro.core.approx_round import approx_round
 from repro.core.config import RelaxConfig, RoundConfig
@@ -44,13 +44,51 @@ class _FIRALBase:
     ):
         self.relax_config = relax_config or RelaxConfig()
         self.round_config = round_config or RoundConfig()
+        # Cross-call scratch-buffer pool (only engaged with reuse_buffers):
+        # a selector reused across active-learning rounds keeps its
+        # shape-stable RELAX buffers alive instead of reallocating per round.
+        self._workspace: Optional[Workspace] = None
 
-    def select(self, dataset: FisherDataset, budget: int) -> SelectionResult:
+    def _relax(self, dataset: FisherDataset, budget: int, initial_weights: Optional[Array]):
+        """Run the bound RELAX solver, threading warm start / workspace."""
+
+        solver = type(self)._relax_solver
+        kwargs = {}
+        if initial_weights is not None:
+            kwargs["initial_weights"] = initial_weights
+        if solver is approx_relax:
+            if self.relax_config.reuse_buffers:
+                backend = get_backend()
+                if self._workspace is None or self._workspace.backend is not backend:
+                    self._workspace = Workspace(backend)
+                kwargs["workspace"] = self._workspace
+            result = solver(dataset, budget, self.relax_config, **kwargs)
+            if self._workspace is not None:
+                # Pool-sized buffer shapes shrink as rounds label points;
+                # drop the stale shapes, keep what this round touched.
+                self._workspace.prune()
+            return result
+        return solver(dataset, budget, self.relax_config, **kwargs)
+
+    def select(
+        self,
+        dataset: FisherDataset,
+        budget: int,
+        *,
+        initial_weights: Optional[Array] = None,
+        eta: Optional[float] = None,
+    ) -> SelectionResult:
         """Select ``budget`` pool indices for labeling.
 
         Runs the RELAX step, then either uses the configured η directly or
         grid-searches it with the paper's min-eigenvalue rule, then runs the
-        ROUND step.
+        ROUND step.  ``initial_weights`` warm-starts the RELAX mirror descent
+        (see :func:`repro.core.approx_relax.approx_relax`); the session
+        engine passes the previous round's ``z*`` restricted to the surviving
+        pool when ``SessionConfig.relax_warm_start`` is enabled.  ``eta``
+        overrides the grid search for this call — the session engine passes
+        the previous round's winning η (``SessionConfig.reuse_eta``), turning
+        the § IV-A grid's 7 ROUND solves per round into 1 after the first.
         """
 
         require(budget > 0, "budget must be positive")
@@ -58,11 +96,12 @@ class _FIRALBase:
             budget <= dataset.num_pool,
             f"budget {budget} exceeds pool size {dataset.num_pool}",
         )
-        relax_result = type(self)._relax_solver(dataset, budget, self.relax_config)
+        relax_result = self._relax(dataset, budget, initial_weights)
 
-        if self.round_config.eta is not None:
+        fixed_eta = eta if eta is not None else self.round_config.eta
+        if fixed_eta is not None:
             round_result = type(self)._round_solver(
-                dataset, relax_result.weights, budget, self.round_config.eta, self.round_config
+                dataset, relax_result.weights, budget, float(fixed_eta), self.round_config
             )
         else:
             round_result, _ = select_eta(

@@ -1,0 +1,22 @@
+"""Stateful selection engine: cross-round state for active-learning runs.
+
+The paper's experiments run FIRAL for many consecutive rounds over the same
+pool; this package makes the *round loop* a first-class object instead of a
+cold-start-per-round script.  :class:`ActiveSession` owns the run's state —
+stable point ids with mask-based pool membership (:class:`PointStore`), an
+incrementally maintained labeled-Fisher accumulator, and cross-round RELAX
+warm starts — and threads it to strategies through the lifecycle protocol of
+:mod:`repro.baselines.base`.  The legacy
+:func:`repro.active.run_active_learning` API is a thin wrapper over a
+session and reproduces its historical results bit-identically on the NumPy
+backend.
+
+This is also the architectural seam future scaling work plugs into: a
+sharded or streaming pool only has to replace :class:`PointStore`; a serving
+workload holds one long-lived session per model.
+"""
+
+from repro.engine.pool import PointStore
+from repro.engine.session import ActiveSession, SessionConfig
+
+__all__ = ["ActiveSession", "SessionConfig", "PointStore"]

@@ -1,0 +1,166 @@
+"""Stable-id point storage with mask-based pool membership.
+
+The legacy driver re-materialized the experiment state every round:
+``concatenate`` for the growing labeled set, a boolean-mask copy for the
+shrinking pool, and (under non-NumPy backends) a fresh host-to-device
+transfer of the whole pool per selection.  :class:`PointStore` replaces that
+churn with one immutable master array and bookkeeping over **stable global
+point ids**:
+
+* every point (initially labeled + pool) gets an id ``0..N-1`` once;
+* pool membership is a boolean mask over ids — labeling flips bits, nothing
+  is copied or reindexed;
+* the labeled set is an id list in acquisition order, so views reproduce the
+  legacy concatenation order bit-for-bit;
+* an optional backend-resident promoted copy of the master array serves the
+  Fisher solvers: per-round pool views become device-side gathers, so under
+  the torch backend the pool stays device-resident across rounds.
+
+Host views are materialized on demand (a gather per round — the classifier
+is a host-side model), but the master array is allocated once for the whole
+session.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.backend import Array, get_backend
+from repro.utils.validation import require
+
+__all__ = ["PointStore"]
+
+
+def _to_host(a) -> np.ndarray:
+    """Return ``a`` as a host ndarray (no copy when it already is one)."""
+
+    if isinstance(a, np.ndarray):
+        return a
+    return get_backend().to_numpy(a)
+
+
+class PointStore:
+    """Master point arrays plus pool/labeled membership over stable ids.
+
+    Parameters
+    ----------
+    initial_features / initial_labels:
+        The initially labeled points; they receive ids ``0..m0-1`` and start
+        in the labeled set.
+    pool_features / pool_labels:
+        The unlabeled pool; ids ``m0..N-1``, all initially in the pool.
+        ``pool_labels`` plays the oracle and is only revealed by
+        :meth:`label`.
+    """
+
+    def __init__(self, initial_features, initial_labels, pool_features, pool_labels):
+        init_f = _to_host(initial_features)
+        pool_f = _to_host(pool_features)
+        require(init_f.ndim == 2 and pool_f.ndim == 2, "features must be 2-D")
+        require(init_f.shape[1] == pool_f.shape[1], "feature dimensions must match")
+        self.features: np.ndarray = np.concatenate([init_f, pool_f], axis=0)
+        self.labels: np.ndarray = np.concatenate(
+            [np.asarray(_to_host(initial_labels), dtype=np.int64),
+             np.asarray(_to_host(pool_labels), dtype=np.int64)],
+            axis=0,
+        )
+        require(self.features.shape[0] == self.labels.shape[0], "features and labels must align")
+        self.num_initial = int(init_f.shape[0])
+        self.total_points = int(self.features.shape[0])
+        self.in_pool = np.zeros(self.total_points, dtype=bool)
+        self.in_pool[self.num_initial:] = True
+        self._labeled_ids = list(range(self.num_initial))
+        self._pool_ids_cache: Optional[np.ndarray] = None
+        # Backend-resident promoted master copy (built on demand).
+        self._compute_master: Optional[Array] = None
+        self._compute_backend = None
+
+    # ------------------------------------------------------------------ #
+    # sizes / id views
+    # ------------------------------------------------------------------ #
+    @property
+    def dimension(self) -> int:
+        return int(self.features.shape[1])
+
+    @property
+    def pool_size(self) -> int:
+        return int(self.in_pool.sum())
+
+    @property
+    def num_labeled(self) -> int:
+        return len(self._labeled_ids)
+
+    @property
+    def pool_ids(self) -> np.ndarray:
+        """Sorted global ids of the current pool (cached between labelings)."""
+
+        if self._pool_ids_cache is None:
+            self._pool_ids_cache = np.flatnonzero(self.in_pool).astype(np.int64)
+        return self._pool_ids_cache
+
+    @property
+    def labeled_ids(self) -> np.ndarray:
+        """Global ids of the labeled set in acquisition order."""
+
+        return np.asarray(self._labeled_ids, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # host views (for the host-side classifier and legacy-compatible paths)
+    # ------------------------------------------------------------------ #
+    def pool_features_host(self) -> np.ndarray:
+        return self.features[self.pool_ids]
+
+    def pool_labels_host(self) -> np.ndarray:
+        return self.labels[self.pool_ids]
+
+    def labeled_features_host(self) -> np.ndarray:
+        return self.features[self.labeled_ids]
+
+    def labeled_labels_host(self) -> np.ndarray:
+        return self.labels[self.labeled_ids]
+
+    # ------------------------------------------------------------------ #
+    # backend-resident compute views
+    # ------------------------------------------------------------------ #
+    def compute_features(self, ids: np.ndarray) -> Array:
+        """Promoted (compute-dtype) features for ``ids``, gathered backend-side.
+
+        The master array is promoted/uploaded **once per session** (per
+        backend); each call is then a device-side gather instead of a fresh
+        host conversion of the round's pool — float promotion is value-exact,
+        so views carry bit-identical values to promoting the host view.
+        """
+
+        backend = get_backend()
+        if self._compute_master is None or self._compute_backend is not backend:
+            self._compute_master = backend.ascompute(self.features)
+            self._compute_backend = backend
+        return self._compute_master[backend.from_host(np.asarray(ids, dtype=np.int64))]
+
+    # ------------------------------------------------------------------ #
+    # labeling
+    # ------------------------------------------------------------------ #
+    def label(self, pool_indices: np.ndarray):
+        """Reveal the labels of pool-view rows ``pool_indices``.
+
+        ``pool_indices`` are positions in the *current* pool view (what a
+        :class:`~repro.baselines.SelectionStrategy` returns), in selection
+        order; the points move from the pool to the labeled set in that
+        order.  Returns ``(global_ids, labels)``.
+        """
+
+        pool_ids = self.pool_ids
+        indices = np.asarray(pool_indices, dtype=np.int64).ravel()
+        require(indices.size > 0, "at least one point must be labeled")
+        require(
+            bool(np.all((indices >= 0) & (indices < pool_ids.size))),
+            "pool index out of range",
+        )
+        require(np.unique(indices).size == indices.size, "duplicate pool indices")
+        global_ids = pool_ids[indices]
+        self.in_pool[global_ids] = False
+        self._labeled_ids.extend(int(g) for g in global_ids)
+        self._pool_ids_cache = None
+        return global_ids, self.labels[global_ids]

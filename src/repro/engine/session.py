@@ -1,0 +1,394 @@
+"""Stateful active-learning session engine.
+
+:class:`ActiveSession` owns the experiment state for an entire multi-round
+run — the protocol of § IV-A (Figs. 2–3), but with the cross-round redundancy
+of the legacy driver removed:
+
+* points live in a :class:`~repro.engine.pool.PointStore` with stable global
+  ids and mask-based pool membership — no per-round ``concatenate`` /
+  boolean-copy churn, and under the torch backend the promoted pool stays
+  device-resident across rounds;
+* the labeled-Fisher block diagonal ``B(H_o)`` can be maintained
+  *incrementally* (newly labeled points add their rank-one class
+  contributions instead of the full sum being recomputed every
+  preconditioner refresh) via
+  :class:`~repro.fisher.LabeledFisherAccumulator`;
+* FIRAL's RELAX mirror descent can warm-start from the previous round's
+  relaxed weights, restricted to the surviving pool, and the § IV-A η grid
+  search can reuse the previous round's winner instead of re-running every
+  ROUND solve (both threaded through the strategy lifecycle protocol of
+  :mod:`repro.baselines.base`).
+
+All mechanisms are **opt-in** through :class:`SessionConfig`.  With the
+default configuration the session reproduces the legacy
+:func:`repro.active.run_active_learning` loop bit-identically on the NumPy
+backend (test-pinned in ``tests/test_engine_session.py``) — the legacy
+function is now a thin wrapper over this class.
+
+Numerics of the opt-in modes
+----------------------------
+``resident_pool`` only changes *where* arrays live (promotion is
+value-exact), so selections are unchanged.  ``reuse_eta`` skips the η grid
+after round 1, so later rounds run with the first winner rather than a
+per-round re-search (η is a property of the problem scale and is stable in
+practice; the benchmark records both accuracy curves).  ``incremental_fisher``
+evaluates each labeled point's Fisher contribution with the classifier **at
+the time it was labeled** (the accumulator can only add, never refresh) —
+the incremental-posterior approximation of Pinsler et al.; the first round
+is exact and later rounds drift as the classifier evolves.
+``relax_warm_start`` moves the mirror-descent starting point, which under a
+finite iteration / objective-tolerance budget changes the iterate path.  All
+non-value-exact modes are off by default, with the measurement documented in
+``benchmarks/bench_active_rounds.py`` either way (the ``cg_warm_start``
+precedent).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.active.problem import ActiveLearningProblem
+from repro.active.results import ExperimentResult, RoundRecord
+from repro.baselines.base import LabelObservation, SelectionContext, SessionInfo, ensure_lifecycle
+from repro.engine.pool import PointStore
+from repro.fisher.accumulator import LabeledFisherAccumulator
+from repro.fisher.hessian import block_diagonal_of_sum
+from repro.fisher.operators import FisherDataset
+from repro.models.logistic_regression import LogisticRegressionClassifier
+from repro.models.metrics import accuracy, class_balanced_accuracy
+from repro.models.softmax import reduced_probabilities
+from repro.utils.random import as_generator
+from repro.utils.validation import require
+
+__all__ = ["SessionConfig", "ActiveSession"]
+
+
+@dataclass
+class SessionConfig:
+    """Cross-round optimization switches for :class:`ActiveSession`.
+
+    Parameters
+    ----------
+    incremental_fisher:
+        Maintain ``B(H_o)`` incrementally with acquisition-time
+        probabilities instead of recomputing the labeled-Fisher sum under
+        the current classifier each round (approximation — see the module
+        docstring).  Also skips the per-round ``predict_proba`` over the
+        labeled set.
+    relax_warm_start:
+        Ask FIRAL-style strategies (via ``SessionInfo.relax_warm_start``) to
+        initialize RELAX mirror descent from the previous round's ``z*``
+        restricted to the surviving pool.
+    reuse_eta:
+        Ask FIRAL-style strategies (via ``SessionInfo.reuse_eta``) to reuse
+        the previous round's winning FTRL learning rate η instead of
+        re-running the § IV-A grid search every round — one ROUND solve per
+        round instead of ``len(eta_grid)`` after the first.
+    resident_pool:
+        Keep one promoted (compute-dtype, device-resident under torch) copy
+        of the master feature array and build the Fisher inputs as
+        backend-side gathers from it, with a per-round ``B(H_o)`` cache so
+        preconditioner refreshes stop reassembling it.  Value-exact.
+    """
+
+    incremental_fisher: bool = False
+    relax_warm_start: bool = False
+    reuse_eta: bool = False
+    resident_pool: bool = False
+
+    @classmethod
+    def fast(cls) -> "SessionConfig":
+        """The recommended cross-round fast path: the mechanisms measured to
+        help end to end on the reference benchmark
+        (``benchmarks/bench_active_rounds.py``).
+
+        ``relax_warm_start`` and ``incremental_fisher`` are deliberately
+        *not* included — both measured counterproductive at the benchmark's
+        small-label scale (a concentrated warm-started iterate worsens
+        ``Sigma_z`` conditioning in some rounds; acquisition-time
+        probabilities are diffuser than fresh ones, putting more
+        off-block-diagonal mass in ``H_o`` than the block-diagonal
+        preconditioner can capture — both inflate CG iterations), exactly
+        like the PR 2 ``cg_warm_start`` precedent.  ``incremental_fisher``'s
+        payoff regime is large labeled sets, where the ``O(m c d^2)``
+        reassembly it avoids dominates and per-round classifier drift is
+        small; the benchmark's ``fisher_maintenance`` series measures that
+        crossover.  Enable either explicitly to experiment."""
+
+        return cls(reuse_eta=True, resident_pool=True)
+
+
+class ActiveSession:
+    """One active-learning run with state persisted across rounds.
+
+    Parameters
+    ----------
+    problem:
+        The dataset triple (initial labeled / pool / evaluation).
+    strategy:
+        Batch selection method — a
+        :class:`~repro.baselines.SelectionStrategy` or any duck-typed object
+        with a ``select(context)`` method (wrapped via
+        :func:`~repro.baselines.ensure_lifecycle`).
+    budget_per_round:
+        Points labeled per round (``b``).
+    num_rounds:
+        Planned number of rounds.  Optional — the session can also be driven
+        open-endedly with :meth:`step` — but when given it is validated
+        against the pool size upfront and advertised to the strategy.
+    classifier:
+        Optional pre-configured classifier; defaults to an L2-regularized
+        multinomial logistic regression, fixed across rounds as in the paper.
+    seed:
+        Seed for the strategy's RNG stream (one stream for the whole run,
+        exactly as the legacy driver used it).
+    config:
+        Cross-round optimization switches; defaults to the legacy-equivalent
+        configuration.
+    """
+
+    def __init__(
+        self,
+        problem: ActiveLearningProblem,
+        strategy,
+        *,
+        budget_per_round: int,
+        num_rounds: Optional[int] = None,
+        classifier: Optional[LogisticRegressionClassifier] = None,
+        seed=0,
+        config: Optional[SessionConfig] = None,
+    ):
+        require(budget_per_round > 0, "budget_per_round must be positive")
+        if num_rounds is not None:
+            require(num_rounds > 0, "num_rounds must be positive")
+            require(
+                num_rounds * budget_per_round <= problem.pool_size,
+                "total budget exceeds the pool size",
+            )
+        self.problem = problem
+        self.config = config or SessionConfig()
+        self.budget_per_round = int(budget_per_round)
+        self.planned_rounds = None if num_rounds is None else int(num_rounds)
+        self.store = PointStore(
+            problem.initial_features,
+            problem.initial_labels,
+            problem.pool_features,
+            problem.pool_labels,
+        )
+        self.strategy = ensure_lifecycle(strategy)
+        self.classifier = (
+            classifier
+            if classifier is not None
+            else LogisticRegressionClassifier(problem.num_classes)
+        )
+        self.rng = as_generator(seed)
+        self.round_index = 0
+        self.result = ExperimentResult(
+            strategy_name=self.strategy.name, dataset_name=problem.name
+        )
+        self._initial_recorded = False
+        self._accumulator: Optional[LabeledFisherAccumulator] = None
+        self._frozen_probs: Optional[np.ndarray] = None
+
+        self.strategy.begin_session(
+            SessionInfo(
+                num_classes=problem.num_classes,
+                dimension=problem.dimension,
+                budget_per_round=self.budget_per_round,
+                pool_size=problem.pool_size,
+                num_rounds=self.planned_rounds,
+                relax_warm_start=self.config.relax_warm_start,
+                reuse_eta=self.config.reuse_eta,
+            )
+        )
+        self._fit()
+        if self.config.incremental_fisher:
+            # Freeze the initial points' probabilities under the classifier
+            # trained on them — identical to what the legacy driver computes
+            # for round 1, so the first round stays exact.
+            self._frozen_probs = self.classifier.predict_proba(self.store.labeled_features_host())
+            self._accumulator = LabeledFisherAccumulator(
+                self.store.dimension, problem.num_classes - 1
+            )
+            self._accumulator.add(
+                self.store.labeled_features_host(),
+                reduced_probabilities(self._frozen_probs),
+            )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _fit(self) -> None:
+        self.classifier.fit(
+            self.store.labeled_features_host(), self.store.labeled_labels_host()
+        )
+
+    def _evaluate(self, setup_seconds: float, selection_seconds: float) -> RoundRecord:
+        pool_ids = self.store.pool_ids
+        if pool_ids.size > 0:
+            pool_acc = accuracy(
+                self.store.pool_labels_host(),
+                self.classifier.predict(self.store.pool_features_host()),
+            )
+        else:
+            pool_acc = 1.0
+        eval_pred = self.classifier.predict(self.problem.eval_features)
+        return RoundRecord(
+            num_labeled=self.store.num_labeled,
+            pool_accuracy=pool_acc,
+            eval_accuracy=accuracy(self.problem.eval_labels, eval_pred),
+            balanced_eval_accuracy=class_balanced_accuracy(
+                self.problem.eval_labels, eval_pred, self.problem.num_classes
+            ),
+            selection_seconds=selection_seconds,
+            setup_seconds=setup_seconds,
+        )
+
+    def _prepare_fisher(
+        self,
+        pool_ids: np.ndarray,
+        pool_features: np.ndarray,
+        pool_probabilities: np.ndarray,
+        labeled_features: np.ndarray,
+        labeled_probabilities: np.ndarray,
+    ) -> FisherDataset:
+        """Assemble the round's Fisher inputs from session-resident state."""
+
+        pool_reduced = reduced_probabilities(pool_probabilities)
+        labeled_reduced = reduced_probabilities(labeled_probabilities)
+        if self.config.resident_pool:
+            pool_f = self.store.compute_features(pool_ids)
+            labeled_f = self.store.compute_features(self.store.labeled_ids)
+        else:
+            pool_f, labeled_f = pool_features, labeled_features
+        if self.config.incremental_fisher:
+            assert self._accumulator is not None
+            cache = self._accumulator.block_diagonal(copy=False)
+        else:
+            # B(H_o) is constant within a round (fixed classifier), so
+            # computing it once here is value-identical to every refresh
+            # recomputing it — just cheaper.
+            cache = block_diagonal_of_sum(labeled_f, labeled_reduced)
+        return FisherDataset(
+            pool_features=pool_f,
+            pool_probabilities=pool_reduced,
+            labeled_features=labeled_f,
+            labeled_probabilities=labeled_reduced,
+            labeled_block_cache=cache,
+        )
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    @property
+    def pool_size(self) -> int:
+        return self.store.pool_size
+
+    @property
+    def num_labeled(self) -> int:
+        return self.store.num_labeled
+
+    def record_initial(self) -> RoundRecord:
+        """Record the accuracy of the classifier trained only on the initial set.
+
+        The leftmost point of the Fig. 2 curves; call at most once, before
+        the first :meth:`step`.
+        """
+
+        require(not self._initial_recorded, "initial record already taken")
+        require(self.round_index == 0, "initial record must precede the first round")
+        record = self._evaluate(0.0, 0.0)
+        self.result.records.append(record)
+        self._initial_recorded = True
+        return record
+
+    def step(self) -> RoundRecord:
+        """Run one selection round: select, reveal labels, retrain, record."""
+
+        cfg = self.config
+        require(
+            self.budget_per_round <= self.store.pool_size,
+            "budget exceeds the remaining pool",
+        )
+
+        setup_start = time.perf_counter()
+        pool_ids = self.store.pool_ids
+        pool_features = self.store.pool_features_host()
+        pool_probabilities = self.classifier.predict_proba(pool_features)
+        labeled_features = self.store.labeled_features_host()
+        if cfg.incremental_fisher:
+            assert self._frozen_probs is not None
+            labeled_probabilities = self._frozen_probs
+        else:
+            labeled_probabilities = self.classifier.predict_proba(labeled_features)
+        prepared = None
+        # Only pre-assemble Fisher inputs for strategies that will read them —
+        # the B(H_o) cache and backend gathers are wasted on Random/Entropy/….
+        if (cfg.incremental_fisher or cfg.resident_pool) and getattr(
+            self.strategy, "consumes_fisher", False
+        ):
+            prepared = self._prepare_fisher(
+                pool_ids, pool_features, pool_probabilities, labeled_features, labeled_probabilities
+            )
+        context = SelectionContext(
+            pool_features=pool_features,
+            pool_probabilities=pool_probabilities,
+            labeled_features=labeled_features,
+            labeled_probabilities=labeled_probabilities,
+            budget=self.budget_per_round,
+            rng=self.rng,
+            pool_ids=pool_ids,
+            round_index=self.round_index,
+            prepared_fisher=prepared,
+        )
+        setup_seconds = time.perf_counter() - setup_start
+
+        start = time.perf_counter()
+        selected = np.asarray(self.strategy.select(context), dtype=np.int64)
+        selection_seconds = time.perf_counter() - start
+
+        # Oracle labeling: flip membership bits, reveal labels.
+        global_ids, labels = self.store.label(selected)
+        self.strategy.observe_labels(
+            LabelObservation(
+                round_index=self.round_index,
+                pool_indices=selected,
+                global_ids=global_ids,
+                labels=labels,
+            )
+        )
+        if cfg.incremental_fisher:
+            assert self._accumulator is not None and self._frozen_probs is not None
+            new_probs = pool_probabilities[selected]
+            self._accumulator.add(
+                self.store.features[global_ids], reduced_probabilities(new_probs)
+            )
+            self._frozen_probs = np.concatenate([self._frozen_probs, new_probs], axis=0)
+
+        self._fit()
+        record = self._evaluate(setup_seconds, selection_seconds)
+        self.result.records.append(record)
+        self.round_index += 1
+        return record
+
+    def run(
+        self, num_rounds: Optional[int] = None, *, record_initial: bool = True
+    ) -> ExperimentResult:
+        """Run ``num_rounds`` rounds (default: the planned count) and return the curve."""
+
+        rounds = num_rounds if num_rounds is not None else self.planned_rounds
+        require(rounds is not None, "num_rounds must be given here or at construction")
+        require(rounds > 0, "num_rounds must be positive")
+        require(
+            rounds * self.budget_per_round <= self.store.pool_size,
+            "total budget exceeds the pool size",
+        )
+        if record_initial and not self._initial_recorded and self.round_index == 0:
+            self.record_initial()
+        for _ in range(rounds):
+            self.step()
+        return self.result

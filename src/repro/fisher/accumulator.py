@@ -1,0 +1,124 @@
+"""Incrementally maintained labeled-Fisher block diagonal ``B(H_o)``.
+
+Across an active-learning run the labeled set only ever *grows*: every round
+moves ``b`` pool points into it.  Recomputing the block diagonal of the
+labeled Hessian sum from scratch each round therefore repeats an
+``O(m c d^2)`` einsum whose first ``m - b`` terms were already summed the
+round before.  :class:`LabeledFisherAccumulator` keeps the running
+``(c, d, d)`` block sum instead, and each newly labeled batch *adds* its
+rank-one class contributions (Eq. 15):
+
+    B_k += sum_{i in batch} w_i h_i^k (1 - h_i^k) x_i x_i^T
+
+at ``O(b c d^2)`` per round — the incremental-update pattern of Pinsler et
+al.'s batch-selection posterior updates, applied to the FIRAL preconditioner.
+
+The price of incrementality is that each point's contribution is evaluated
+with the class probabilities *at the time it was added* (for the session
+engine: the classifier that selected it).  A from-scratch recomputation
+under the current classifier would instead refresh every ``h_i``.  The two
+agree exactly right after the accumulator is (re)built and drift slowly as
+the classifier evolves; the session engine exposes this as the opt-in
+``incremental_fisher`` mode and keeps the exact recomputation as the
+default (see :mod:`repro.engine.session`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.backend import Array, COMPUTE_DTYPE, get_backend
+from repro.fisher.hessian import point_block_coefficients
+from repro.linalg.block_diag import BlockDiagonalMatrix
+from repro.utils.validation import check_features, check_probabilities, require
+
+__all__ = ["LabeledFisherAccumulator"]
+
+
+class LabeledFisherAccumulator:
+    """Running block-diagonal Fisher sum over an append-only point set.
+
+    Parameters
+    ----------
+    dimension:
+        Feature dimension ``d``.
+    num_classes:
+        Number of probability columns the contributions carry.  For the FIRAL
+        pipeline this is the *reduced* class count ``c - 1`` (Eq. 1), matching
+        the probabilities stored in :class:`~repro.fisher.FisherDataset`.
+    """
+
+    def __init__(self, dimension: int, num_classes: int):
+        require(dimension > 0, "dimension must be positive")
+        require(num_classes > 0, "num_classes must be positive")
+        self.dimension = int(dimension)
+        self.num_classes = int(num_classes)
+        backend = get_backend()
+        self._blocks = backend.zeros(
+            (self.num_classes, self.dimension, self.dimension), dtype=COMPUTE_DTYPE
+        )
+        self._num_points = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_points(self) -> int:
+        """How many points have been accumulated."""
+
+        return self._num_points
+
+    @property
+    def blocks(self) -> Array:
+        """The running ``(c, d, d)`` block sum (compute dtype, live view)."""
+
+        return self._blocks
+
+    # ------------------------------------------------------------------ #
+    def add(self, features: Array, probabilities: Array, weights: Optional[Array] = None) -> None:
+        """Add a batch of points' rank-one class contributions to ``B_o``.
+
+        Parameters
+        ----------
+        features:
+            Batch features, shape ``(b, d)``.
+        probabilities:
+            Class probabilities of the batch under the classifier current at
+            labeling time, shape ``(b, num_classes)``.
+        weights:
+            Optional per-point weights (defaults to 1).
+        """
+
+        backend = get_backend()
+        X = check_features(features, "features")
+        H = check_probabilities(probabilities, num_classes=self.num_classes, name="probabilities")
+        require(
+            int(X.shape[0]) == int(H.shape[0]),
+            "features and probabilities must describe the same points",
+        )
+        require(int(X.shape[1]) == self.dimension, "feature dimension mismatch")
+        coeff = point_block_coefficients(H)
+        if weights is not None:
+            w = backend.ascompute(weights).ravel()
+            require(tuple(w.shape) == (int(X.shape[0]),), "weights must have shape (b,)")
+            coeff = coeff * w[:, None]
+        X64 = backend.ascompute(X)
+        self._blocks += backend.einsum("ik,id,ie->kde", coeff, X64, X64, optimize=True)
+        self._num_points += int(X.shape[0])
+
+    # ------------------------------------------------------------------ #
+    def block_diagonal(self, *, copy: bool = True) -> BlockDiagonalMatrix:
+        """The accumulated ``B(H_o)`` as a :class:`BlockDiagonalMatrix`.
+
+        With ``copy=False`` the matrix aliases the live accumulator array —
+        cheap to hand out once per round, but it must not outlive the next
+        :meth:`add` (the session engine rebuilds its per-round cache anyway).
+        """
+
+        return BlockDiagonalMatrix(self._blocks, copy=copy)
+
+    def reset(self) -> None:
+        """Zero the accumulator (e.g. when a session rebuilds from scratch)."""
+
+        self._blocks = get_backend().zeros(
+            (self.num_classes, self.dimension, self.dimension), dtype=COMPUTE_DTYPE
+        )
+        self._num_points = 0

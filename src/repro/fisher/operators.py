@@ -41,12 +41,22 @@ class FisherDataset:
         ``X_o`` of shape ``(m, d)`` — the already-labeled points.
     labeled_probabilities:
         ``h_i`` for the labeled points, shape ``(m, c)``.
+    labeled_block_cache:
+        Optional precomputed ``B(H_o)``.  The labeled-Fisher block diagonal
+        is constant within a round (the classifier is fixed while a batch is
+        selected), so a caller that already holds it — the session engine's
+        :class:`~repro.fisher.LabeledFisherAccumulator`, or a per-round cache
+        — can thread it in and every preconditioner refresh / ROUND
+        precompute skips the ``O(m c d^2)`` reassembly.  Must equal
+        ``block_diagonal_of_sum(labeled_features, labeled_probabilities)``
+        for the stored probabilities; callers must not mutate it.
     """
 
     pool_features: Array
     pool_probabilities: Array
     labeled_features: Array
     labeled_probabilities: Array
+    labeled_block_cache: Optional[BlockDiagonalMatrix] = None
 
     def __post_init__(self) -> None:
         self.pool_features = check_features(self.pool_features, "pool_features")
@@ -134,8 +144,10 @@ class FisherDataset:
     # block diagonals
     # ------------------------------------------------------------------ #
     def labeled_block_diagonal(self) -> BlockDiagonalMatrix:
-        """``B(H_o)`` assembled directly (Eq. 14)."""
+        """``B(H_o)`` assembled directly (Eq. 14), or the threaded-in cache."""
 
+        if self.labeled_block_cache is not None:
+            return self.labeled_block_cache
         return block_diagonal_of_sum(self.labeled_features, self.labeled_probabilities)
 
     def pool_block_diagonal(self, weights: Optional[Array] = None) -> BlockDiagonalMatrix:

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.config import RoundConfig
 from repro.core.approx_round import approx_round, selected_batch_min_eigenvalue
-from repro.core.exact_round import exact_round
 from repro.fisher.operators import FisherDataset
 from tests.conftest import make_fisher_dataset, random_probabilities
 
@@ -107,7 +106,7 @@ class TestProposition4Equivalence:
         # Brute-force the first selection of the *block-diagonalized* exact
         # objective: Trace[(B_t + eta B(H_i))^{-1} Sigma_*] (Eq. 18) with
         # B_t = sqrt(dc) Sigma_* + (eta/b) B(H_o).
-        from repro.fisher.hessian import block_diagonal_of_sum, point_block_coefficients
+        from repro.fisher.hessian import point_block_coefficients
 
         sigma = dataset.sigma_block_diagonal(z).add_identity(1e-8)
         labeled = dataset.labeled_block_diagonal()

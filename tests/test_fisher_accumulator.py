@@ -1,0 +1,145 @@
+"""Tests for the incremental labeled-Fisher accumulator."""
+
+import numpy as np
+import pytest
+
+from repro.fisher.accumulator import LabeledFisherAccumulator
+from repro.fisher.hessian import block_diagonal_of_sum
+from repro.fisher.operators import FisherDataset
+from repro.linalg.block_diag import BlockDiagonalMatrix
+
+
+def _random_batch(rng, n, d, c):
+    features = rng.standard_normal((n, d))
+    logits = rng.standard_normal((n, c + 1))
+    expd = np.exp(logits - logits.max(axis=1, keepdims=True))
+    probs = (expd / expd.sum(axis=1, keepdims=True))[:, :c]
+    return features, probs
+
+
+class TestLabeledFisherAccumulator:
+    def test_single_batch_matches_from_scratch(self):
+        rng = np.random.default_rng(0)
+        X, H = _random_batch(rng, 12, 4, 3)
+        acc = LabeledFisherAccumulator(4, 3)
+        acc.add(X, H)
+        reference = block_diagonal_of_sum(X, H)
+        np.testing.assert_allclose(acc.blocks, np.asarray(reference.blocks, dtype=np.float64), rtol=1e-12)
+        assert acc.num_points == 12
+
+    def test_incremental_batches_match_full_sum(self):
+        """Adding round batches one by one equals the from-scratch sum over
+        the concatenated set (up to fp summation order)."""
+
+        rng = np.random.default_rng(1)
+        batches = [_random_batch(rng, n, 5, 4) for n in (8, 3, 3, 5)]
+        acc = LabeledFisherAccumulator(5, 4)
+        for X, H in batches:
+            acc.add(X, H)
+        all_X = np.concatenate([b[0] for b in batches])
+        all_H = np.concatenate([b[1] for b in batches])
+        reference = block_diagonal_of_sum(all_X, all_H)
+        np.testing.assert_allclose(
+            acc.blocks, np.asarray(reference.blocks, dtype=np.float64), rtol=1e-10, atol=1e-12
+        )
+        assert acc.num_points == 19
+
+    def test_weighted_add(self):
+        rng = np.random.default_rng(2)
+        X, H = _random_batch(rng, 6, 3, 2)
+        w = rng.uniform(0.5, 2.0, size=6)
+        acc = LabeledFisherAccumulator(3, 2)
+        acc.add(X, H, weights=w)
+        reference = block_diagonal_of_sum(X, H, weights=w)
+        np.testing.assert_allclose(acc.blocks, np.asarray(reference.blocks, dtype=np.float64), rtol=1e-12)
+
+    def test_reset(self):
+        rng = np.random.default_rng(3)
+        X, H = _random_batch(rng, 4, 3, 2)
+        acc = LabeledFisherAccumulator(3, 2)
+        acc.add(X, H)
+        acc.reset()
+        assert acc.num_points == 0
+        np.testing.assert_array_equal(acc.blocks, 0.0)
+
+    def test_block_diagonal_view_aliases_accumulator(self):
+        rng = np.random.default_rng(4)
+        X, H = _random_batch(rng, 4, 3, 2)
+        acc = LabeledFisherAccumulator(3, 2)
+        acc.add(X, H)
+        view = acc.block_diagonal(copy=False)
+        assert view.blocks is acc.blocks
+        copy = acc.block_diagonal()
+        assert copy.blocks is not acc.blocks
+
+    def test_shape_validation(self):
+        acc = LabeledFisherAccumulator(3, 2)
+        rng = np.random.default_rng(5)
+        X, H = _random_batch(rng, 4, 5, 2)  # wrong dimension
+        with pytest.raises(ValueError):
+            acc.add(X, H)
+        X, H = _random_batch(rng, 4, 3, 3)  # wrong class count
+        with pytest.raises(ValueError):
+            acc.add(X, H)
+
+
+class TestFisherDatasetBlockCache:
+    def test_cache_returned_when_present(self):
+        rng = np.random.default_rng(0)
+        pool_X, pool_H = _random_batch(rng, 10, 4, 3)
+        lab_X, lab_H = _random_batch(rng, 6, 4, 3)
+        cache = BlockDiagonalMatrix(np.zeros((3, 4, 4)))
+        dataset = FisherDataset(
+            pool_features=pool_X,
+            pool_probabilities=pool_H,
+            labeled_features=lab_X,
+            labeled_probabilities=lab_H,
+            labeled_block_cache=cache,
+        )
+        assert dataset.labeled_block_diagonal() is cache
+
+    def test_without_cache_assembles_from_scratch(self):
+        rng = np.random.default_rng(1)
+        pool_X, pool_H = _random_batch(rng, 10, 4, 3)
+        lab_X, lab_H = _random_batch(rng, 6, 4, 3)
+        dataset = FisherDataset(
+            pool_features=pool_X,
+            pool_probabilities=pool_H,
+            labeled_features=lab_X,
+            labeled_probabilities=lab_H,
+        )
+        reference = block_diagonal_of_sum(lab_X, lab_H)
+        np.testing.assert_array_equal(
+            dataset.labeled_block_diagonal().blocks, reference.blocks
+        )
+
+    def test_accumulator_cache_consistent_with_solvers(self):
+        """A dataset carrying the accumulator's B(H_o) gives the same sigma
+        block diagonal as from-scratch assembly (within fp order)."""
+
+        rng = np.random.default_rng(2)
+        pool_X, pool_H = _random_batch(rng, 10, 4, 3)
+        lab_X, lab_H = _random_batch(rng, 6, 4, 3)
+        acc = LabeledFisherAccumulator(4, 3)
+        acc.add(lab_X[:4], lab_H[:4])
+        acc.add(lab_X[4:], lab_H[4:])
+        cached = FisherDataset(
+            pool_features=pool_X,
+            pool_probabilities=pool_H,
+            labeled_features=lab_X,
+            labeled_probabilities=lab_H,
+            labeled_block_cache=acc.block_diagonal(copy=False),
+        )
+        plain = FisherDataset(
+            pool_features=pool_X,
+            pool_probabilities=pool_H,
+            labeled_features=lab_X,
+            labeled_probabilities=lab_H,
+        )
+        z = np.full(10, 0.1)
+        np.testing.assert_allclose(
+            np.asarray(cached.sigma_block_diagonal(z).blocks, dtype=np.float64),
+            np.asarray(plain.sigma_block_diagonal(z).blocks, dtype=np.float64),
+            rtol=1e-10,
+            atol=1e-12,
+        )

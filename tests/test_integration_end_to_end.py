@@ -7,7 +7,6 @@ imbalanced data), and a relax+round+scaling pipeline through the simulated
 cluster.
 """
 
-import numpy as np
 import pytest
 
 from repro import ApproxFIRAL, ExactFIRAL, build_problem, run_active_learning, run_trials

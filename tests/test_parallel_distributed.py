@@ -10,7 +10,7 @@ import pytest
 
 from repro.core.approx_relax import approx_relax
 from repro.core.approx_round import approx_round
-from repro.core.config import RelaxConfig, RoundConfig
+from repro.core.config import RelaxConfig
 from repro.parallel.cluster import ScalingMeasurement, SimulatedCluster
 from repro.parallel.distributed_relax import distributed_relax
 from repro.parallel.distributed_round import distributed_round

@@ -1,0 +1,90 @@
+"""JSON round-trip tests for the result containers (checkpointing support)."""
+
+import numpy as np
+import pytest
+
+from repro.active.results import AggregateResult, ExperimentResult, RoundRecord
+
+
+def _record(n, acc, sel=0.5, setup=0.25):
+    return RoundRecord(n, acc, acc + 0.01, acc + 0.02, sel, setup)
+
+
+def _experiment(name="approx-firal", rounds=3):
+    return ExperimentResult(
+        strategy_name=name,
+        dataset_name="cifar10",
+        records=[_record(10 * (i + 1), 0.5 + 0.05 * i) for i in range(rounds)],
+    )
+
+
+class TestRoundRecordSerialization:
+    def test_round_trip(self):
+        record = _record(20, 0.7)
+        restored = RoundRecord.from_dict(record.as_dict())
+        assert restored == record
+
+    def test_setup_seconds_in_dict(self):
+        d = _record(10, 0.5, sel=1.5, setup=0.75).as_dict()
+        assert d["selection_seconds"] == 1.5
+        assert d["setup_seconds"] == 0.75
+
+    def test_missing_timings_default_to_zero(self):
+        restored = RoundRecord.from_dict(
+            {
+                "num_labeled": 10,
+                "pool_accuracy": 0.5,
+                "eval_accuracy": 0.6,
+                "balanced_eval_accuracy": 0.55,
+            }
+        )
+        assert restored.selection_seconds == 0.0
+        assert restored.setup_seconds == 0.0
+
+
+class TestExperimentResultSerialization:
+    def test_dict_round_trip(self):
+        result = _experiment()
+        restored = ExperimentResult.from_dict(result.to_dict())
+        assert restored == result
+        np.testing.assert_array_equal(restored.eval_accuracy(), result.eval_accuracy())
+
+    def test_file_round_trip(self, tmp_path):
+        result = _experiment()
+        path = result.save(tmp_path / "curve.json")
+        restored = ExperimentResult.load(path)
+        assert restored == result
+
+    def test_empty_records_round_trip(self):
+        result = ExperimentResult("s", "d")
+        assert ExperimentResult.from_dict(result.to_dict()) == result
+
+
+class TestAggregateResultSerialization:
+    def test_dict_round_trip(self):
+        agg = AggregateResult(
+            strategy_name="random",
+            dataset_name="cifar10",
+            trials=[_experiment("random"), _experiment("random")],
+        )
+        restored = AggregateResult.from_dict(agg.to_dict())
+        assert restored == agg
+        np.testing.assert_allclose(
+            restored.mean_eval_accuracy(), agg.mean_eval_accuracy()
+        )
+
+    def test_file_round_trip(self, tmp_path):
+        agg = AggregateResult(
+            strategy_name="random",
+            dataset_name="cifar10",
+            trials=[_experiment("random"), _experiment("random")],
+        )
+        path = agg.save(tmp_path / "agg.json")
+        restored = AggregateResult.load(path)
+        assert restored == agg
+
+    def test_from_dict_validates_trials(self):
+        with pytest.raises(ValueError):
+            AggregateResult.from_dict(
+                {"strategy_name": "s", "dataset_name": "d", "trials": []}
+            )

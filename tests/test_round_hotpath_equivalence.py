@@ -24,7 +24,6 @@ from repro.core.approx_round import RoundPrecompute, approx_round
 from repro.core.config import RelaxConfig, RoundConfig
 from repro.core.eta_selection import select_eta
 from repro.core.exact_round import ExactRoundPrecompute, exact_round
-from repro.fisher.hessian import point_block_coefficients
 from repro.linalg.sherman_morrison import fused_round_scores
 from tests.conftest import make_fisher_dataset
 
