@@ -68,6 +68,14 @@ class SessionInfo:
         Whether the session asks FIRAL-style strategies to reuse the previous
         round's winning FTRL learning rate η instead of re-running the § IV-A
         grid search every round (see ``SessionConfig.reuse_eta``).
+    parallel_ranks:
+        When set, the session asks FIRAL-style strategies to execute their
+        selection step (RELAX + ROUND) across this many ranks of the
+        distributed solvers (see ``SessionConfig.parallel_ranks``).
+        Strategies without a distributed formulation ignore it.
+    parallel_transport:
+        Transport for ``parallel_ranks``: ``"simulated"`` (threads) or
+        ``"shared_memory"`` (real spawned OS processes).
     """
 
     num_classes: int
@@ -77,6 +85,8 @@ class SessionInfo:
     num_rounds: Optional[int] = None
     relax_warm_start: bool = False
     reuse_eta: bool = False
+    parallel_ranks: Optional[int] = None
+    parallel_transport: str = "simulated"
 
 
 @dataclass
@@ -284,6 +294,18 @@ class FIRALStrategy(SelectionStrategy):
     silently stays cold under the id-less legacy driver; η reuse has no such
     requirement but only engages when the session (or constructor) asks.
 
+    A third session request is **multi-rank execution**
+    (``parallel_ranks`` on the session, or ``parallel_ranks=N`` here): when
+    the wrapped selector is an :class:`~repro.core.firal.ApproxFIRAL`, its
+    RELAX + ROUND solves are routed through
+    :class:`~repro.parallel.firal.DistributedApproxFIRAL` over ``N`` ranks of
+    the requested transport — threads (``"simulated"``) or real spawned OS
+    processes (``"shared_memory"``).  The distributed RELAX solver runs its
+    fixed iteration budget without objective tracking, so the wrapped
+    selector's ``relax_config`` is normalized to ``track_objective="none"``
+    (see :mod:`repro.parallel.firal`); Exact-FIRAL has no distributed
+    formulation and rejects the request.
+
     Parameters
     ----------
     selector:
@@ -296,20 +318,39 @@ class FIRALStrategy(SelectionStrategy):
     reuse_eta:
         Force cross-round η reuse on/off; ``None`` (default) defers to the
         session's ``SessionInfo.reuse_eta``.
+    parallel_ranks:
+        Force multi-rank selection with this many ranks; ``None`` (default)
+        defers to the session's ``SessionInfo.parallel_ranks``.
+    parallel_transport:
+        Transport used when multi-rank selection is active; ``None``
+        (default) defers to the session's ``SessionInfo.parallel_transport``.
     """
 
     is_stochastic = False
     consumes_fisher = True
 
-    def __init__(self, selector, *, warm_start: Optional[bool] = None, reuse_eta: Optional[bool] = None):
+    def __init__(
+        self,
+        selector,
+        *,
+        warm_start: Optional[bool] = None,
+        reuse_eta: Optional[bool] = None,
+        parallel_ranks: Optional[int] = None,
+        parallel_transport: Optional[str] = None,
+    ):
         require(hasattr(selector, "select"), "selector must expose a select() method")
         self.selector = selector
         self.name = getattr(selector, "name", "firal")
         self.warm_start = warm_start
         self.reuse_eta = reuse_eta
+        self.parallel_ranks = parallel_ranks
+        self.parallel_transport = parallel_transport
         self.last_result = None
         self._session_warm_start = False
         self._session_reuse_eta = False
+        self._session_parallel_ranks: Optional[int] = None
+        self._session_parallel_transport = "simulated"
+        self._distributed_selector = None
         self._previous: Optional[tuple] = None  # (pool_ids, relaxed weights)
         self._previous_eta: Optional[float] = None
 
@@ -319,9 +360,17 @@ class FIRALStrategy(SelectionStrategy):
     def begin_session(self, info: SessionInfo) -> None:
         self._session_warm_start = bool(info.relax_warm_start)
         self._session_reuse_eta = bool(info.reuse_eta)
+        self._session_parallel_ranks = info.parallel_ranks
+        self._session_parallel_transport = info.parallel_transport
+        self._distributed_selector = None
         self._previous = None
         self._previous_eta = None
         self.last_result = None
+        if self._parallel_ranks_active is not None:
+            # Fail at session start, not round N, if the selector cannot run
+            # distributed — and build the distributed selector eagerly so the
+            # first round already executes multi-rank.
+            self._effective_selector()
 
     @property
     def _warm_start_active(self) -> bool:
@@ -334,6 +383,45 @@ class FIRALStrategy(SelectionStrategy):
         if self.reuse_eta is not None:
             return self.reuse_eta
         return self._session_reuse_eta
+
+    @property
+    def _parallel_ranks_active(self) -> Optional[int]:
+        if self.parallel_ranks is not None:
+            return self.parallel_ranks
+        return self._session_parallel_ranks
+
+    @property
+    def _parallel_transport_active(self) -> str:
+        if self.parallel_transport is not None:
+            return self.parallel_transport
+        return self._session_parallel_transport
+
+    def _effective_selector(self):
+        """The wrapped selector, or its distributed twin when ranks are requested."""
+
+        ranks = self._parallel_ranks_active
+        if ranks is None:
+            return self.selector
+        if (
+            self._distributed_selector is None
+            or self._distributed_selector.num_ranks != int(ranks)
+            or self._distributed_selector.transport != self._parallel_transport_active
+        ):
+            from repro.core.firal import ApproxFIRAL
+            from repro.parallel.firal import DistributedApproxFIRAL
+
+            require(
+                isinstance(self.selector, ApproxFIRAL),
+                "parallel_ranks requires an ApproxFIRAL selector — Exact-FIRAL has no "
+                "distributed formulation (Table II restricts it to small problems)",
+            )
+            self._distributed_selector = DistributedApproxFIRAL(
+                self.selector.relax_config,
+                self.selector.round_config,
+                num_ranks=int(ranks),
+                transport=self._parallel_transport_active,
+            )
+        return self._distributed_selector
 
     def _warm_start_weights(self, context: SelectionContext) -> Optional[np.ndarray]:
         """Previous round's ``z*`` restricted to the surviving pool, or ``None``."""
@@ -362,7 +450,7 @@ class FIRALStrategy(SelectionStrategy):
             kwargs["initial_weights"] = initial_weights
         if self._reuse_eta_active and self._previous_eta is not None:
             kwargs["eta"] = self._previous_eta
-        result = self.selector.select(dataset, context.budget, **kwargs)
+        result = self._effective_selector().select(dataset, context.budget, **kwargs)
         self.last_result = result
         relax = getattr(result, "relax", None)
         # Only materialize warm-start state when it will be read: to_numpy on

@@ -70,6 +70,23 @@ class _FIRALBase:
             return result
         return solver(dataset, budget, self.relax_config, **kwargs)
 
+    def _round(self, dataset: FisherDataset, weights: Array, budget: int, eta: float):
+        """Run the bound ROUND solver at one fixed η (subclass hook)."""
+
+        return type(self)._round_solver(dataset, weights, budget, float(eta), self.round_config)
+
+    def _round_search(self, dataset: FisherDataset, weights: Array, budget: int):
+        """Run the § IV-A η grid search over the bound ROUND solver (subclass hook)."""
+
+        return select_eta(
+            type(self)._round_solver,
+            dataset,
+            weights,
+            budget,
+            eta_grid=self.round_config.eta_grid,
+            config=self.round_config,
+        )
+
     def select(
         self,
         dataset: FisherDataset,
@@ -100,18 +117,9 @@ class _FIRALBase:
 
         fixed_eta = eta if eta is not None else self.round_config.eta
         if fixed_eta is not None:
-            round_result = type(self)._round_solver(
-                dataset, relax_result.weights, budget, float(fixed_eta), self.round_config
-            )
+            round_result = self._round(dataset, relax_result.weights, budget, float(fixed_eta))
         else:
-            round_result, _ = select_eta(
-                type(self)._round_solver,
-                dataset,
-                relax_result.weights,
-                budget,
-                eta_grid=self.round_config.eta_grid,
-                config=self.round_config,
-            )
+            round_result, _ = self._round_search(dataset, relax_result.weights, budget)
 
         return SelectionResult(
             selected_indices=get_backend().index_array(round_result.selected_indices),

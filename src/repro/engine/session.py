@@ -93,12 +93,30 @@ class SessionConfig:
         of the master feature array and build the Fisher inputs as
         backend-side gathers from it, with a per-round ``B(H_o)`` cache so
         preconditioner refreshes stop reassembling it.  Value-exact.
+    parallel_ranks:
+        Run FIRAL-style strategies' selection step (RELAX + ROUND) across
+        this many ranks of the distributed solvers every round.  With
+        ``parallel_transport="shared_memory"`` each rank is a real spawned
+        OS process holding one pool shard, communicating over
+        ``multiprocessing.shared_memory`` — the whole session's selection
+        work executes across processes while the engine, oracle loop and
+        classifier stay in this one.  The distributed RELAX solver runs a
+        fixed iteration budget (``track_objective="none"``; see
+        :mod:`repro.parallel.firal`), so configure the serial comparison the
+        same way when pinning equivalence.  Non-FIRAL strategies ignore the
+        request, exactly like ``relax_warm_start``.
+    parallel_transport:
+        ``"simulated"`` (ranks as threads, default) or ``"shared_memory"``
+        (ranks as real OS processes); only read when ``parallel_ranks``
+        is set.
     """
 
     incremental_fisher: bool = False
     relax_warm_start: bool = False
     reuse_eta: bool = False
     resident_pool: bool = False
+    parallel_ranks: Optional[int] = None
+    parallel_transport: str = "simulated"
 
     @classmethod
     def fast(cls) -> "SessionConfig":
@@ -194,6 +212,8 @@ class ActiveSession:
         self._accumulator: Optional[LabeledFisherAccumulator] = None
         self._frozen_probs: Optional[np.ndarray] = None
 
+        if self.config.parallel_ranks is not None:
+            require(self.config.parallel_ranks > 0, "parallel_ranks must be positive")
         self.strategy.begin_session(
             SessionInfo(
                 num_classes=problem.num_classes,
@@ -203,6 +223,8 @@ class ActiveSession:
                 num_rounds=self.planned_rounds,
                 relax_warm_start=self.config.relax_warm_start,
                 reuse_eta=self.config.reuse_eta,
+                parallel_ranks=self.config.parallel_ranks,
+                parallel_transport=self.config.parallel_transport,
             )
         )
         self._fit()

@@ -2,39 +2,67 @@
 
 The paper's implementation distributes the pool points across ``p`` GPUs and
 uses three MPI collectives (Allreduce, Allgather, Bcast) for all
-inter-GPU communication (§ III-C).  Neither GPUs nor an MPI launcher are
-available in this environment, so this package provides:
+inter-GPU communication (§ III-C).  This package provides:
 
-* :mod:`repro.parallel.comm` — an MPI-like communicator interface with an
-  in-process :class:`SimulatedComm` implementation that executes the same
-  collectives over explicit per-rank data shards and records message counts
-  and volumes (so the analytic cost model of :mod:`repro.perfmodel` can be
-  applied to the *actual* communication pattern).
+* :mod:`repro.parallel.comm` — the :class:`Comm` protocol with two
+  transports: :class:`SimulatedComm` (ranks as threads of one process,
+  rendezvous over a shared slot table) and :class:`SharedMemoryComm` (ranks
+  as real spawned OS processes over a ``multiprocessing.shared_memory``
+  segment with a barrier/sequence-number protocol).  Both record message
+  counts and volumes identically, so the analytic cost model of
+  :mod:`repro.perfmodel` applies to simulated and real runs alike.
+* :mod:`repro.parallel.launcher` — :func:`run_spmd`, which executes one
+  per-rank entry point per rank over either transport.
 * :mod:`repro.parallel.partition` — block partitioning of pool points and of
   class blocks across ranks.
-* :mod:`repro.parallel.distributed_relax` / ``distributed_round`` — SPMD
-  formulations of Algorithms 2 and 3 over the communicator, validated against
-  the serial solvers.
-* :mod:`repro.parallel.cluster` — a driver that runs a p-rank job in-process
-  and reports per-rank compute time plus modeled communication time, which is
+* :mod:`repro.parallel.distributed_relax` / ``distributed_round`` — per-rank
+  SPMD programs (``relax_rank_main`` / ``round_rank_main``) for Algorithms 2
+  and 3 plus transport-agnostic drivers, validated against the serial
+  solvers.
+* :mod:`repro.parallel.firal` — :class:`DistributedApproxFIRAL`, the full
+  RELAX → η → ROUND selector over distributed solvers (what a session with
+  ``SessionConfig.parallel_ranks`` runs).
+* :mod:`repro.parallel.cluster` — a driver that runs a p-rank job and
+  reports per-rank compute time plus modeled communication time, which is
   how the strong/weak scaling figures (Figs. 6-7) are regenerated.
 """
 
-from repro.parallel.comm import CommunicationLog, SimulatedComm, create_communicators
-from repro.parallel.partition import block_partition, partition_indices, partition_pool
-from repro.parallel.distributed_relax import distributed_relax
-from repro.parallel.distributed_round import distributed_round
+from repro.parallel.comm import (
+    Comm,
+    CommAbortedError,
+    CommProtocolError,
+    CommunicationLog,
+    SharedMemoryComm,
+    SimulatedComm,
+    create_communicators,
+)
+from repro.parallel.launcher import RankFailedError, TRANSPORTS, run_spmd
+from repro.parallel.partition import block_partition, partition_indices, partition_pool, pool_offsets
+from repro.parallel.distributed_relax import distributed_relax, relax_rank_main
+from repro.parallel.distributed_round import distributed_round, round_rank_main
+from repro.parallel.firal import DistributedApproxFIRAL
 from repro.parallel.cluster import SimulatedCluster, ScalingMeasurement
 
 __all__ = [
+    "Comm",
+    "CommAbortedError",
+    "CommProtocolError",
     "CommunicationLog",
+    "DistributedApproxFIRAL",
+    "RankFailedError",
+    "SharedMemoryComm",
     "SimulatedComm",
+    "TRANSPORTS",
     "create_communicators",
+    "run_spmd",
     "block_partition",
     "partition_indices",
     "partition_pool",
+    "pool_offsets",
     "distributed_relax",
+    "relax_rank_main",
     "distributed_round",
+    "round_rank_main",
     "SimulatedCluster",
     "ScalingMeasurement",
 ]

@@ -75,10 +75,14 @@ class SimulatedCluster:
         Machine model used to convert recorded communication traffic into
         seconds and to produce the theoretical series (defaults to the
         paper's A100 parameters).
+    transport:
+        Which transport the distributed solvers run over: ``"simulated"``
+        (threads, default) or ``"shared_memory"`` (real spawned processes).
     """
 
-    def __init__(self, machine: Optional[MachineSpec] = None):
+    def __init__(self, machine: Optional[MachineSpec] = None, *, transport: str = "simulated"):
         self.machine = machine or A100_MACHINE
+        self.transport = transport
 
     # ------------------------------------------------------------------ #
     def measure_relax_step(
@@ -94,7 +98,9 @@ class SimulatedCluster:
 
         cfg = config or RelaxConfig(max_iterations=1, track_objective="none")
         require(cfg.max_iterations == 1, "scaling measurements time a single iteration")
-        result = distributed_relax(dataset, budget, num_ranks=num_ranks, config=cfg)
+        result = distributed_relax(
+            dataset, budget, num_ranks=num_ranks, config=cfg, transport=self.transport
+        )
         compute = {name: float(vals.max()) for name, vals in result.per_rank_seconds.items()}
         comm = communication_time(self.machine, result.comm_log.as_dict(), num_ranks)
         theoretical = relax_step_model(
@@ -128,7 +134,8 @@ class SimulatedCluster:
         """Time the selection of ``budget`` points (per-point time is reported)."""
 
         result = distributed_round(
-            dataset, z_relaxed, budget, eta, num_ranks=num_ranks, config=config
+            dataset, z_relaxed, budget, eta, num_ranks=num_ranks, config=config,
+            transport=self.transport,
         )
         compute = {
             name: float(vals.max()) / budget for name, vals in result.per_rank_seconds.items()

@@ -1,44 +1,68 @@
 """Distributed (SPMD) formulation of the fast RELAX solver (Algorithm 2).
 
 The pool is partitioned across ``p`` ranks; the labeled set is replicated.
-Per mirror-descent iteration the communication pattern follows § III-C:
+:func:`relax_rank_main` is the **per-rank program**: it holds one shard, one
+slice of the mirror-descent iterate ``z``, and a
+:class:`~repro.parallel.comm.Comm` handle, and per iteration follows the
+communication pattern of § III-C:
 
 * probes are broadcast from rank 0 (``MPI_Bcast``),
 * the block-diagonal preconditioner is assembled from per-rank partial sums
-  (``MPI_Allreduce`` of ``c d^2`` floats),
+  (``MPI_Allreduce`` of ``c d^2`` floats), with the labeled term and the
+  ``O(c d^3)`` inversion replicated on every rank exactly as in the real
+  code,
 * every CG iteration allreduces the per-rank partial matvecs
-  (``MPI_Allreduce`` of ``c d s`` floats),
+  (``MPI_Allreduce`` of ``c d s`` floats); the CG vector arithmetic itself
+  operates on replicated ``dc``-dimensional state and is therefore identical
+  on every rank,
 * the gradient and the ``z`` update are purely local except for the simplex
-  normalization (an allreduce of two scalars).
+  normalization (allreduces of scalars).
 
-Per-rank compute seconds are measured for each component so that the
-strong/weak scaling figures can combine ``max``-over-ranks compute with the
-analytic communication model.  All per-rank arrays live on the active array
-backend; the collectives of :class:`~repro.parallel.comm.SimulatedComm`
-combine them without leaving backend storage.
+:func:`distributed_relax` is the driver: it partitions the dataset, launches
+the rank program over the requested transport — threads
+(``transport="simulated"``) or real spawned processes
+(``transport="shared_memory"``) via :func:`repro.parallel.launcher.run_spmd`
+— and merges the per-rank outputs.  Per-rank compute seconds are measured for
+each component so the strong/weak scaling figures can combine
+``max``-over-ranks compute with the analytic communication model; the
+communication log records every collective with its message size, with
+identical accounting on both transports.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np  # host-side timing/bookkeeping only; array math uses the backend
 
 from repro.backend import Array, COMPUTE_DTYPE, get_backend
 from repro.core.config import RelaxConfig
+from repro.core.warm_start import initial_simplex_iterate
 from repro.fisher.hessian import block_diagonal_of_sum
 from repro.fisher.matvec import hessian_sum_matvec, probe_hessian_quadratic_forms
 from repro.fisher.operators import FisherDataset
 from repro.linalg.block_diag import BlockDiagonalMatrix
 from repro.linalg.cg import conjugate_gradient
-from repro.parallel.comm import CommunicationLog, SimulatedComm
+from repro.parallel.comm import Comm, CommunicationLog
+from repro.parallel.launcher import (
+    ComponentTimers,
+    collective_log,
+    merge_component_seconds,
+    run_spmd,
+    ship_array,
+)
 from repro.parallel.partition import partition_pool
 from repro.utils.random import as_generator
 from repro.utils.validation import require
 
-__all__ = ["DistributedRelaxResult", "distributed_relax"]
+__all__ = [
+    "DistributedRelaxResult",
+    "RelaxRankSpec",
+    "RelaxRankOutput",
+    "distributed_relax",
+    "relax_rank_main",
+]
 
 
 @dataclass
@@ -55,6 +79,7 @@ class DistributedRelaxResult:
     iterations: int
     cg_iterations: int
     num_ranks: int
+    transport: str = "simulated"
     per_rank_seconds: Dict[str, np.ndarray] = field(default_factory=dict)
     comm_log: CommunicationLog = field(default_factory=CommunicationLog)
 
@@ -68,127 +93,113 @@ class DistributedRelaxResult:
         return float(sum(self.max_rank_seconds(name) for name in self.per_rank_seconds))
 
 
-class _RankTimers:
-    """Per-rank, per-component second accumulators."""
+@dataclass
+class RelaxRankSpec:
+    """Picklable per-rank inputs of :func:`relax_rank_main`.
 
-    def __init__(self, num_ranks: int):
-        self.num_ranks = num_ranks
-        self.seconds: Dict[str, np.ndarray] = {}
-
-    def add(self, component: str, rank: int, value: float) -> None:
-        if component not in self.seconds:
-            self.seconds[component] = np.zeros(self.num_ranks, dtype=np.float64)
-        self.seconds[component][rank] += value
-
-    def timed(self, component: str, rank: int):
-        timers = self
-
-        class _Ctx:
-            def __enter__(self):
-                self._start = time.perf_counter()
-                return self
-
-            def __exit__(self, *exc):
-                timers.add(component, rank, time.perf_counter() - self._start)
-                return False
-
-        return _Ctx()
-
-
-def distributed_relax(
-    dataset: FisherDataset,
-    budget: int,
-    *,
-    num_ranks: int,
-    config: Optional[RelaxConfig] = None,
-) -> DistributedRelaxResult:
-    """Run Algorithm 2 over ``num_ranks`` simulated ranks.
-
-    Numerically equivalent (up to reduction order) to
-    :func:`repro.core.approx_relax.approx_relax` with the same configuration,
-    which the test suite verifies.
+    Arrays are the rank's pool shard plus the replicated labeled set; under
+    the simulated transport they may be backend-resident (threads share
+    memory), under the shared-memory transport the driver ships host arrays.
     """
 
-    require(budget > 0, "budget must be positive")
-    require(num_ranks > 0, "num_ranks must be positive")
-    cfg = config or RelaxConfig(track_objective="none")
-    require(
-        cfg.track_objective == "none",
-        "distributed_relax does not track the objective; use track_objective='none'",
-    )
+    pool_features: Array
+    pool_probabilities: Array
+    labeled_features: Array
+    labeled_probabilities: Array
+    z0_local: Array
+    budget: int
+    config: RelaxConfig
+    labeled_block_cache: Optional[Array] = None
+
+
+@dataclass
+class RelaxRankOutput:
+    """What one rank reports back to the driver."""
+
+    rank: int
+    weights: Array
+    iterations: int
+    cg_iterations: int
+    seconds: Dict[str, float]
+    log: CommunicationLog
+
+
+def relax_rank_main(comm: Comm, spec: RelaxRankSpec) -> RelaxRankOutput:
+    """SPMD body of Algorithm 2 for one rank.
+
+    Every collective below is matched by the same call on every peer rank —
+    the transports validate this with sequence numbers and collective tags.
+    Replicated state (probes, CG iterates, the preconditioner) is bit-identical
+    across ranks because every rank computes it from identical allreduced
+    inputs with identical arithmetic.
+    """
+
+    cfg = spec.config
+    budget = int(spec.budget)
     backend = get_backend()
     xp = backend.xp
-    rng = as_generator(cfg.seed)
+    timers = ComponentTimers()
 
-    shards = partition_pool(dataset, num_ranks)
-    local_sizes = [shard.num_pool for shard in shards]
-    n = dataset.num_pool
-    dc = dataset.joint_dimension
+    cache = (
+        BlockDiagonalMatrix(backend.asarray(spec.labeled_block_cache), copy=False)
+        if spec.labeled_block_cache is not None
+        else None
+    )
+    shard = FisherDataset(
+        pool_features=spec.pool_features,
+        pool_probabilities=spec.pool_probabilities,
+        labeled_features=spec.labeled_features,
+        labeled_probabilities=spec.labeled_probabilities,
+        labeled_block_cache=cache,
+    )
+    dc = shard.joint_dimension
+    local_z = backend.ascompute(spec.z0_local).ravel()
+    require(int(local_z.shape[0]) == shard.num_pool, "z0 slice must match the shard size")
 
-    comm_log = CommunicationLog()
-    timers = _RankTimers(num_ranks)
-
-    # z is partitioned like the pool; start uniform.
-    local_z: List[Array] = [
-        backend.full((size,), 1.0 / n, dtype=COMPUTE_DTYPE) for size in local_sizes
-    ]
+    # Rank 0 owns the probe RNG stream (Line 4); peers receive via bcast.
+    rng = as_generator(cfg.seed) if comm.rank == 0 else None
 
     total_cg_iterations = 0
     iterations = 0
-    # Warm-start / preconditioner-reuse state, mirroring the serial solver so
-    # the SPMD trajectory stays equivalent for the same configuration.
     prev_first_solution = None
     prev_second_solution = None
     preconditioner = None
     for t in range(1, cfg.max_iterations + 1):
         iterations = t
 
-        # Rank 0 draws the Rademacher probes and broadcasts them (Line 4).
-        probes = backend.rademacher((dc, cfg.num_probes), rng=rng, dtype=COMPUTE_DTYPE)
-        probes = SimulatedComm.bcast(probes, comm_log)
+        probes = None
+        if comm.rank == 0:
+            probes = backend.rademacher((dc, cfg.num_probes), rng=rng, dtype=COMPUTE_DTYPE)
+        probes = comm.bcast(probes, root=0)
 
         # Line 5: per-rank partial block diagonals of H_z, allreduced, plus
         # H_o — skipped entirely between preconditioner refreshes (the stale
         # factor only affects CG convergence, not the solves' fixed point).
         refresh = preconditioner is None or (t - 1) % cfg.precond_refresh_every == 0
         if refresh:
-            partial_blocks = []
-            for rank, shard in enumerate(shards):
-                with timers.timed("setup_preconditioner", rank):
-                    partial = block_diagonal_of_sum(
-                        shard.pool_features, shard.pool_probabilities, weights=budget * local_z[rank]
-                    )
-                partial_blocks.append(partial.blocks)
-            summed = SimulatedComm.allreduce(partial_blocks, comm_log)
-            with timers.timed("setup_preconditioner", 0):
-                labeled_blocks = dataset.labeled_block_diagonal()
-            sigma_blocks = BlockDiagonalMatrix(summed, copy=False) + labeled_blocks
-            if cfg.regularization > 0.0:
-                sigma_blocks = sigma_blocks.add_identity(cfg.regularization)
-            # The inversion is replicated on every rank in the real code; it is
-            # executed once here and charged to rank 0 (replicated work does not
-            # change the max-over-ranks parallel estimate).
-            with timers.timed("setup_preconditioner", 0):
+            with timers.timed("setup_preconditioner"):
+                partial = block_diagonal_of_sum(
+                    shard.pool_features, shard.pool_probabilities, weights=budget * local_z
+                )
+            summed = comm.allreduce(partial.blocks)
+            with timers.timed("setup_preconditioner"):
+                # Replicated on every rank, exactly as in the real code (the
+                # labeled set and the allreduced pool blocks are replicated).
+                sigma_blocks = BlockDiagonalMatrix(summed, copy=False) + shard.labeled_block_diagonal()
+                if cfg.regularization > 0.0:
+                    sigma_blocks = sigma_blocks.add_identity(cfg.regularization)
                 preconditioner = sigma_blocks.inverse()
 
         def sigma_matvec(V: Array) -> Array:
-            """Distributed Sigma_z matvec: per-rank partials + allreduce + H_o."""
+            """Distributed Sigma_z matvec: local partial + allreduce + H_o."""
 
-            partials = []
-            for rank, shard in enumerate(shards):
-                with timers.timed("cg", rank):
-                    partials.append(
-                        hessian_sum_matvec(
-                            shard.pool_features,
-                            shard.pool_probabilities,
-                            V,
-                            weights=budget * local_z[rank],
-                        )
-                    )
-            reduced = SimulatedComm.allreduce(partials, comm_log)
-            with timers.timed("cg", 0):
-                labeled_part = dataset.labeled_hessian_matvec(V)
-                out = reduced + labeled_part
+            with timers.timed("cg"):
+                partial = hessian_sum_matvec(
+                    shard.pool_features, shard.pool_probabilities, V, weights=budget * local_z
+                )
+            reduced = comm.allreduce(partial)
+            with timers.timed("cg"):
+                out = reduced + shard.labeled_hessian_matvec(V)
                 if cfg.regularization > 0.0:
                     out = out + cfg.regularization * xp.asarray(V)
             return out
@@ -196,16 +207,14 @@ def distributed_relax(
         def pool_matvec(V: Array) -> Array:
             """Distributed H_p matvec (unweighted pool sum)."""
 
-            partials = []
-            for rank, shard in enumerate(shards):
-                with timers.timed("other", rank):
-                    partials.append(
-                        hessian_sum_matvec(shard.pool_features, shard.pool_probabilities, V)
-                    )
-            return SimulatedComm.allreduce(partials, comm_log)
+            with timers.timed("other"):
+                partial = hessian_sum_matvec(shard.pool_features, shard.pool_probabilities, V)
+            return comm.allreduce(partial)
 
         # Lines 6-8: two preconditioned CG solves around an H_p application,
-        # warm-started from the previous iteration's solutions.
+        # warm-started from the previous iteration's solutions.  The CG state
+        # is replicated: every rank runs the same iteration over allreduced
+        # matvecs, so the per-rank trajectories coincide.
         first = conjugate_gradient(
             sigma_matvec,
             probes,
@@ -231,58 +240,141 @@ def distributed_relax(
             prev_first_solution = first.solution
             prev_second_solution = second.solution
 
-        # Line 9: local gradient estimates.
-        local_grads = []
-        for rank, shard in enumerate(shards):
-            with timers.timed("gradient", rank):
-                local_grads.append(
-                    -probe_hessian_quadratic_forms(
-                        shard.pool_features, shard.pool_probabilities, probes, second.solution
-                    )
-                )
+        # Line 9: local gradient estimate over the shard.
+        with timers.timed("gradient"):
+            local_grad = -probe_hessian_quadratic_forms(
+                shard.pool_features, shard.pool_probabilities, probes, second.solution
+            )
 
-        # Lines 10-11: exponentiated-gradient update with a global normalization.
+        # Lines 10-11: exponentiated-gradient update with global normalization.
         global_scale = 1.0
         if cfg.normalize_gradient:
-            local_max = [
-                float(xp.abs(g).max()) if int(g.shape[0]) else 0.0 for g in local_grads
-            ]
+            local_max = float(xp.abs(local_grad).max()) if int(local_grad.shape[0]) else 0.0
             global_scale = float(
-                SimulatedComm.allreduce(
-                    [backend.ascompute(xp.asarray([m])) for m in local_max], comm_log, op="max"
-                )[0]
+                comm.allreduce(backend.ascompute(xp.asarray([local_max])), op="max")[0]
             )
         beta = cfg.step_size(t, global_scale)
 
-        local_logs = []
-        local_log_max = []
-        for rank in range(num_ranks):
-            with timers.timed("other", rank):
-                log_z = xp.log(xp.clip(local_z[rank], 1e-300, None)) - beta * local_grads[rank]
-            local_logs.append(log_z)
-            local_log_max.append(float(log_z.max()) if int(log_z.shape[0]) else -xp.inf)
+        with timers.timed("other"):
+            log_z = xp.log(xp.clip(local_z, 1e-300, None)) - beta * local_grad
+            local_log_max = float(log_z.max()) if int(log_z.shape[0]) else -float(np.inf)
         global_log_max = float(
-            SimulatedComm.allreduce(
-                [backend.ascompute(xp.asarray([m])) for m in local_log_max], comm_log, op="max"
-            )[0]
+            comm.allreduce(backend.ascompute(xp.asarray([local_log_max])), op="max")[0]
         )
-        local_exp = []
-        local_sums = []
-        for rank in range(num_ranks):
-            with timers.timed("other", rank):
-                expd = xp.exp(local_logs[rank] - global_log_max)
-            local_exp.append(expd)
-            local_sums.append(backend.ascompute(xp.asarray([float(expd.sum())])))
-        total = float(SimulatedComm.allreduce(local_sums, comm_log)[0])
-        for rank in range(num_ranks):
-            local_z[rank] = local_exp[rank] / total
+        with timers.timed("other"):
+            expd = xp.exp(log_z - global_log_max)
+            local_sum = backend.ascompute(xp.asarray([float(expd.sum())]))
+        total = float(comm.allreduce(local_sum)[0])
+        local_z = expd / total
 
-    weights = SimulatedComm.allgather([budget * z for z in local_z], comm_log)
-    return DistributedRelaxResult(
+    weights = comm.allgather(budget * local_z)
+    return RelaxRankOutput(
+        rank=comm.rank,
         weights=weights,
         iterations=iterations,
         cg_iterations=total_cg_iterations,
+        seconds=timers.seconds,
+        log=comm.log,
+    )
+
+
+def relax_message_bytes(num_pool: int, joint_dimension: int, num_classes: int,
+                        dimension: int, num_probes: int) -> int:
+    """Tight upper bound on one RELAX collective contribution, in bytes.
+
+    The largest payloads are the probe block / CG partials (``dc × s``
+    float64), the block-diagonal partial sums (``c × d × d`` float64) and a
+    rank's final weight shard (``≤ n`` float64).
+    """
+
+    itemsize = np.dtype(np.float64).itemsize
+    return itemsize * max(
+        joint_dimension * num_probes,
+        num_classes * dimension * dimension,
+        num_pool,
+        1,
+    )
+
+
+def distributed_relax(
+    dataset: FisherDataset,
+    budget: int,
+    *,
+    num_ranks: int,
+    config: Optional[RelaxConfig] = None,
+    transport: str = "simulated",
+    initial_weights: Optional[Array] = None,
+    timeout: float = 120.0,
+) -> DistributedRelaxResult:
+    """Run Algorithm 2 over ``num_ranks`` ranks of the chosen transport.
+
+    Numerically equivalent (up to reduction order) to
+    :func:`repro.core.approx_relax.approx_relax` with the same configuration,
+    which the test suite verifies; with ``transport="simulated"`` and one
+    rank the trajectory is bit-identical to the serial solver.
+    ``transport="shared_memory"`` runs every rank as a real spawned OS
+    process communicating over shared memory; results match the simulated
+    transport up to the floating-point effects of crossing a process
+    boundary (none on the NumPy backend — the wire format is exact).
+    """
+
+    require(budget > 0, "budget must be positive")
+    require(num_ranks > 0, "num_ranks must be positive")
+    cfg = config or RelaxConfig(track_objective="none")
+    require(
+        cfg.track_objective == "none",
+        "distributed_relax does not track the objective; use track_objective='none'",
+    )
+    backend = get_backend()
+
+    shards = partition_pool(dataset, num_ranks)
+    z0 = initial_simplex_iterate(dataset.num_pool, initial_weights)
+    cache_blocks = (
+        dataset.labeled_block_cache.blocks if dataset.labeled_block_cache is not None else None
+    )
+    specs = []
+    start = 0
+    for shard in shards:
+        stop = start + shard.num_pool
+        specs.append(
+            RelaxRankSpec(
+                pool_features=ship_array(backend, shard.pool_features, transport),
+                pool_probabilities=ship_array(backend, shard.pool_probabilities, transport),
+                labeled_features=ship_array(backend, shard.labeled_features, transport),
+                labeled_probabilities=ship_array(backend, shard.labeled_probabilities, transport),
+                z0_local=ship_array(backend, z0[start:stop], transport),
+                budget=int(budget),
+                config=cfg,
+                labeled_block_cache=(
+                    ship_array(backend, cache_blocks, transport) if cache_blocks is not None else None
+                ),
+            )
+        )
+        start = stop
+
+    outputs = run_spmd(
+        relax_rank_main,
+        specs,
+        transport=transport,
+        max_message_bytes=relax_message_bytes(
+            dataset.num_pool,
+            dataset.joint_dimension,
+            dataset.num_classes,
+            dataset.dimension,
+            cfg.num_probes,
+        ),
+        timeout=timeout,
+    )
+    require(
+        len({output.iterations for output in outputs}) == 1,
+        "ranks diverged: unequal mirror-descent iteration counts",
+    )
+    return DistributedRelaxResult(
+        weights=backend.asarray(outputs[0].weights),
+        iterations=outputs[0].iterations,
+        cg_iterations=outputs[0].cg_iterations,
         num_ranks=num_ranks,
-        per_rank_seconds=timers.seconds,
-        comm_log=comm_log,
+        transport=transport,
+        per_rank_seconds=merge_component_seconds(outputs),
+        comm_log=collective_log(outputs),
     )

@@ -1,9 +1,11 @@
 """Distributed (SPMD) formulation of the block-diagonal ROUND solver.
 
-Per selection iteration (§ III-C, Algorithm 3):
+:func:`round_rank_main` is the per-rank program (§ III-C, Algorithm 3).  Per
+selection iteration:
 
 * every rank scores its local pool shard with Proposition 4's objective and
-  the global argmax is found with an ``MPI_Allreduce`` (MAXLOC-style),
+  the global argmax is found with an ``MPI_Allreduce`` (MAXLOC-style, ties
+  to the lowest rank),
 * the owner of the winner broadcasts ``x_it`` and ``h_it`` (``MPI_Bcast`` of
   ``c + d`` floats),
 * the ``c`` class-block eigenvalue problems are distributed across ranks and
@@ -11,6 +13,10 @@ Per selection iteration (§ III-C, Algorithm 3):
 * the FTRL constant ν and the refreshed ``B_{t+1}^{-1}`` are computed
   redundantly on every rank (replicated ``O(c d^3)`` work).
 
+:func:`distributed_round` is the driver: it partitions the dataset and runs
+the rank program over threads (``transport="simulated"``) or real spawned
+processes (``transport="shared_memory"``) via
+:func:`repro.parallel.launcher.run_spmd`, then merges the per-rank outputs.
 All shard data and collective payloads are arrays of the active backend; the
 per-class generalized eigensolves go through the backend's promoted linear
 algebra (``eigh_generalized``).
@@ -19,7 +25,6 @@ algebra (``eigh_generalized``).
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -33,11 +38,24 @@ from repro.fisher.operators import FisherDataset
 from repro.linalg.bisection import find_ftrl_nu
 from repro.linalg.block_diag import BlockDiagonalMatrix
 from repro.linalg.sherman_morrison import fused_round_scores
-from repro.parallel.comm import CommunicationLog, SimulatedComm
-from repro.parallel.partition import block_partition, partition_pool
+from repro.parallel.comm import Comm, CommunicationLog
+from repro.parallel.launcher import (
+    ComponentTimers,
+    collective_log,
+    merge_component_seconds,
+    run_spmd,
+    ship_array,
+)
+from repro.parallel.partition import block_partition, partition_pool, pool_offsets
 from repro.utils.validation import require
 
-__all__ = ["DistributedRoundResult", "distributed_round"]
+__all__ = [
+    "DistributedRoundResult",
+    "RoundRankSpec",
+    "RoundRankOutput",
+    "distributed_round",
+    "round_rank_main",
+]
 
 
 @dataclass
@@ -47,6 +65,7 @@ class DistributedRoundResult:
     selected_indices: np.ndarray
     eta: float
     num_ranks: int
+    transport: str = "simulated"
     per_rank_seconds: Dict[str, np.ndarray] = field(default_factory=dict)
     comm_log: CommunicationLog = field(default_factory=CommunicationLog)
 
@@ -58,72 +77,80 @@ class DistributedRoundResult:
         return float(sum(self.max_rank_seconds(name) for name in self.per_rank_seconds))
 
 
-def distributed_round(
-    dataset: FisherDataset,
-    z_relaxed: Array,
-    budget: int,
-    eta: float,
-    *,
-    num_ranks: int,
-    config: Optional[RoundConfig] = None,
-) -> DistributedRoundResult:
-    """Run Algorithm 3 over ``num_ranks`` simulated ranks.
+@dataclass
+class RoundRankSpec:
+    """Picklable per-rank inputs of :func:`round_rank_main`."""
 
-    Selects the same points as :func:`repro.core.approx_round.approx_round`
-    (verified by the test suite) while recording per-rank compute time and the
-    collective-communication pattern.
+    pool_features: Array
+    pool_probabilities: Array
+    labeled_features: Array
+    labeled_probabilities: Array
+    z_local: Array
+    offsets: np.ndarray
+    budget: int
+    eta: float
+    config: RoundConfig
+    labeled_block_cache: Optional[Array] = None
+
+
+@dataclass
+class RoundRankOutput:
+    """What one rank reports back to the driver."""
+
+    rank: int
+    selected_indices: np.ndarray
+    seconds: Dict[str, float]
+    log: CommunicationLog
+
+
+def round_rank_main(comm: Comm, spec: RoundRankSpec) -> RoundRankOutput:
+    """SPMD body of Algorithm 3 for one rank.
+
+    Replicated state — ``Sigma_*``, ``B_t^{-1}``, the accumulated rank-one
+    sum, ν — is recomputed identically on every rank from allreduced /
+    broadcast inputs, so the selected index sequence is identical on every
+    rank; the driver cross-checks this.
     """
 
-    require(budget > 0, "budget must be positive")
-    require(eta > 0, "eta must be positive")
-    require(num_ranks > 0, "num_ranks must be positive")
-    cfg = config or RoundConfig(eta=eta)
+    cfg = spec.config
+    budget = int(spec.budget)
+    eta = float(spec.eta)
     backend = get_backend()
     xp = backend.xp
+    timers = ComponentTimers(
+        ("score", "compute_eigenvalues", "update_accumulated", "refresh_inverse", "setup")
+    )
+    _timed = timers.timed
 
-    z_relaxed = backend.ascompute(z_relaxed).ravel()
-    require(tuple(z_relaxed.shape) == (dataset.num_pool,), "z_relaxed must match the pool size")
+    cache = (
+        BlockDiagonalMatrix(backend.asarray(spec.labeled_block_cache), copy=False)
+        if spec.labeled_block_cache is not None
+        else None
+    )
+    shard = FisherDataset(
+        pool_features=spec.pool_features,
+        pool_probabilities=spec.pool_probabilities,
+        labeled_features=spec.labeled_features,
+        labeled_probabilities=spec.labeled_probabilities,
+        labeled_block_cache=cache,
+    )
+    local_z = backend.ascompute(spec.z_local).ravel()
+    require(int(local_z.shape[0]) == shard.num_pool, "z slice must match the shard size")
+    offsets = np.asarray(spec.offsets, dtype=np.int64)
 
-    shards = partition_pool(dataset, num_ranks)
-    offsets = np.cumsum([0] + [shard.num_pool for shard in shards])
-    local_z = [z_relaxed[int(offsets[r]) : int(offsets[r + 1])] for r in range(num_ranks)]
-
-    d = dataset.dimension
-    c = dataset.num_classes
+    d = shard.dimension
+    c = shard.num_classes
     dc = d * c
-    comm_log = CommunicationLog()
-    per_rank: Dict[str, np.ndarray] = {
-        "score": np.zeros(num_ranks),
-        "compute_eigenvalues": np.zeros(num_ranks),
-        "update_accumulated": np.zeros(num_ranks),
-        "refresh_inverse": np.zeros(num_ranks),
-        "setup": np.zeros(num_ranks),
-    }
-
-    def _timed(component: str, rank: int):
-        class _Ctx:
-            def __enter__(self):
-                self._start = time.perf_counter()
-                return self
-
-            def __exit__(self, *exc):
-                per_rank[component][rank] += time.perf_counter() - self._start
-                return False
-
-        return _Ctx()
 
     # Line 3: Sigma_* block diagonal from per-rank partial sums + H_o.
-    partials = []
-    for rank, shard in enumerate(shards):
-        with _timed("setup", rank):
-            partials.append(
-                block_diagonal_of_sum(
-                    shard.pool_features, shard.pool_probabilities, weights=local_z[rank]
-                ).blocks
-            )
-    summed = SimulatedComm.allreduce(partials, comm_log)
-    with _timed("setup", 0):
-        labeled_blocks = dataset.labeled_block_diagonal()
+    with _timed("setup"):
+        partial = block_diagonal_of_sum(
+            shard.pool_features, shard.pool_probabilities, weights=local_z
+        )
+    summed = comm.allreduce(partial.blocks)
+    with _timed("setup"):
+        # Replicated per rank (labeled set + allreduced blocks are replicated).
+        labeled_blocks = shard.labeled_block_diagonal()
         sigma_star = BlockDiagonalMatrix(summed, copy=False) + labeled_blocks
         if cfg.regularization > 0.0:
             sigma_star = sigma_star.add_identity(cfg.regularization)
@@ -132,49 +159,46 @@ def distributed_round(
         accumulated = BlockDiagonalMatrix.zeros(c, d, dtype=COMPUTE_DTYPE)
         labeled_over_budget = backend.ascompute(labeled_blocks.blocks) / budget
 
-    # Per-rank promotions hoisted out of the selection loop (the serial
-    # solver's RoundPrecompute analogue): shard features / gammas are promoted
-    # once, and each rank scores through the same fused kernel as the serial
-    # path — the SPMD trajectory stays equivalent by construction.
-    local_X = [backend.ascompute(shard.pool_features) for shard in shards]
-    local_gammas = [point_block_coefficients(shard.pool_probabilities) for shard in shards]
-    local_available = [backend.ones((shard.num_pool,), dtype=bool) for shard in shards]
-    local_workspaces = [Workspace(backend) for _ in shards]
-    class_slices = block_partition(c, num_ranks)
+        # Shard promotions hoisted out of the selection loop (the serial
+        # solver's RoundPrecompute analogue).
+        local_X = backend.ascompute(shard.pool_features)
+        local_gammas = point_block_coefficients(shard.pool_probabilities)
+        available = backend.ones((shard.num_pool,), dtype=bool)
+        workspace = Workspace(backend)
+        class_slice = block_partition(c, comm.size)[comm.rank]
 
     selected: List[int] = []
-    for t in range(1, budget + 1):
-        # Line 7: local scoring + global argmax.
-        local_best_value = []
-        local_best_index = []
-        for rank, shard in enumerate(shards):
-            with _timed("score", rank):
-                scores = fused_round_scores(
-                    bt_inv,
-                    sigma_star,
-                    local_X[rank],
-                    local_gammas[rank],
-                    eta,
-                    chunk_size=cfg.score_chunk_size,
-                    workspace=local_workspaces[rank],
-                )
-                if not cfg.allow_repeats:
-                    scores = xp.where(local_available[rank], scores, -xp.inf)
-                best_local = int(xp.argmax(scores))
-            local_best_value.append(float(scores[best_local]))
-            local_best_index.append(best_local)
-        owner, owner_local_index, best_value = SimulatedComm.argmax_allreduce(
-            local_best_value, local_best_index, comm_log
-        )
+    for _ in range(1, budget + 1):
+        # Line 7: local scoring + global MAXLOC argmax.
+        with _timed("score"):
+            scores = fused_round_scores(
+                bt_inv,
+                sigma_star,
+                local_X,
+                local_gammas,
+                eta,
+                chunk_size=cfg.score_chunk_size,
+                workspace=workspace,
+            )
+            if not cfg.allow_repeats:
+                scores = xp.where(available, scores, -xp.inf)
+            best_local = int(xp.argmax(scores))
+            best_value = float(scores[best_local])
+        owner, owner_local_index, best_value = comm.argmax_allreduce(best_value, best_local)
         require(math.isfinite(best_value), "no candidate available for selection")
         global_index = int(offsets[owner] + owner_local_index)
         selected.append(global_index)
-        local_available[owner][owner_local_index] = False
+        if comm.rank == owner and not cfg.allow_repeats:
+            available[owner_local_index] = False
 
         # Line 8 + bcast of the winner's (x, h) to all ranks.
-        x_sel = SimulatedComm.bcast(local_X[owner][owner_local_index], comm_log)
-        gamma_sel = SimulatedComm.bcast(local_gammas[owner][owner_local_index], comm_log)
-        with _timed("update_accumulated", 0):
+        x_sel = comm.bcast(
+            local_X[owner_local_index] if comm.rank == owner else None, root=owner
+        )
+        gamma_sel = comm.bcast(
+            local_gammas[owner_local_index] if comm.rank == owner else None, root=owner
+        )
+        with _timed("update_accumulated"):
             # Same elementwise formulation as the serial solver so the SPMD
             # trajectory matches it bit-for-bit.
             rank_one = gamma_sel[:, None, None] * (x_sel[:, None] * x_sel[None, :])[None]
@@ -184,30 +208,114 @@ def distributed_round(
             )
 
         # Line 9: class blocks distributed across ranks, then allgathered.
-        local_eigs = []
-        for rank, sl in enumerate(class_slices):
-            with _timed("compute_eigenvalues", rank):
-                if sl.stop > sl.start:
-                    eigs = generalized_block_eigenvalues(
-                        accumulated.blocks[sl.start : sl.stop],
-                        sigma_star.blocks[sl.start : sl.stop],
-                    )
-                else:
-                    eigs = backend.zeros((0, d), dtype=COMPUTE_DTYPE)
-            local_eigs.append(eigs)
-        eigenvalues = SimulatedComm.allgather(local_eigs, comm_log)
+        with _timed("compute_eigenvalues"):
+            if class_slice.stop > class_slice.start:
+                local_eigs = generalized_block_eigenvalues(
+                    accumulated.blocks[class_slice.start : class_slice.stop],
+                    sigma_star.blocks[class_slice.start : class_slice.stop],
+                )
+            else:
+                local_eigs = backend.zeros((0, d), dtype=COMPUTE_DTYPE)
+        eigenvalues = comm.allgather(local_eigs)
 
         # Lines 10-11: nu bisection and the refreshed B_{t+1}^{-1} (replicated).
-        with _timed("refresh_inverse", 0):
+        with _timed("refresh_inverse"):
             nu = find_ftrl_nu(eta * eigenvalues)
             bt_inv = (
                 sigma_star * nu + accumulated * eta + labeled_blocks * (eta / budget)
             ).inverse()
 
+    return RoundRankOutput(
+        rank=comm.rank,
+        selected_indices=np.asarray(selected, dtype=np.int64),
+        seconds=timers.seconds,
+        log=comm.log,
+    )
+
+
+def round_message_bytes(num_classes: int, dimension: int) -> int:
+    """Tight upper bound on one ROUND collective contribution, in bytes.
+
+    Dominated by the ``c × d × d`` block-diagonal partial; the per-iteration
+    payloads (winner feature/coefficients, per-rank eigenvalue slices) are
+    strictly smaller.
+    """
+
+    itemsize = np.dtype(np.float64).itemsize
+    return itemsize * max(num_classes * dimension * dimension, 1)
+
+
+def distributed_round(
+    dataset: FisherDataset,
+    z_relaxed: Array,
+    budget: int,
+    eta: float,
+    *,
+    num_ranks: int,
+    config: Optional[RoundConfig] = None,
+    transport: str = "simulated",
+    timeout: float = 120.0,
+) -> DistributedRoundResult:
+    """Run Algorithm 3 over ``num_ranks`` ranks of the chosen transport.
+
+    Selects the same points as :func:`repro.core.approx_round.approx_round`
+    (verified by the test suite) while recording per-rank compute time and
+    the collective-communication pattern; ties in the global argmax resolve
+    to the lowest rank on every transport (MPI ``MAXLOC`` semantics).
+    """
+
+    require(budget > 0, "budget must be positive")
+    require(eta > 0, "eta must be positive")
+    require(num_ranks > 0, "num_ranks must be positive")
+    cfg = config or RoundConfig(eta=eta)
+    backend = get_backend()
+
+    z_relaxed = backend.ascompute(z_relaxed).ravel()
+    require(tuple(z_relaxed.shape) == (dataset.num_pool,), "z_relaxed must match the pool size")
+
+    shards = partition_pool(dataset, num_ranks)
+    offsets = pool_offsets(dataset.num_pool, num_ranks)
+    cache_blocks = (
+        dataset.labeled_block_cache.blocks if dataset.labeled_block_cache is not None else None
+    )
+    specs = []
+    for rank, shard in enumerate(shards):
+        z_local = z_relaxed[int(offsets[rank]) : int(offsets[rank + 1])]
+        specs.append(
+            RoundRankSpec(
+                pool_features=ship_array(backend, shard.pool_features, transport),
+                pool_probabilities=ship_array(backend, shard.pool_probabilities, transport),
+                labeled_features=ship_array(backend, shard.labeled_features, transport),
+                labeled_probabilities=ship_array(backend, shard.labeled_probabilities, transport),
+                z_local=ship_array(backend, z_local, transport),
+                offsets=offsets,
+                budget=int(budget),
+                eta=float(eta),
+                config=cfg,
+                labeled_block_cache=(
+                    ship_array(backend, cache_blocks, transport) if cache_blocks is not None else None
+                ),
+            )
+        )
+
+    outputs = run_spmd(
+        round_rank_main,
+        specs,
+        transport=transport,
+        max_message_bytes=round_message_bytes(dataset.num_classes, dataset.dimension),
+        timeout=timeout,
+    )
+    selected = outputs[0].selected_indices
+    for output in outputs[1:]:
+        require(
+            bool(np.array_equal(output.selected_indices, selected)),
+            "ranks diverged: replicated selection state differs across ranks",
+        )
     return DistributedRoundResult(
         selected_indices=np.asarray(selected, dtype=np.int64),
         eta=float(eta),
         num_ranks=num_ranks,
-        per_rank_seconds=per_rank,
-        comm_log=comm_log,
+        transport=transport,
+        per_rank_seconds=merge_component_seconds(outputs),
+        comm_log=collective_log(outputs),
     )

@@ -1,0 +1,130 @@
+"""Approx-FIRAL over the distributed solvers: the multi-rank selector.
+
+:class:`DistributedApproxFIRAL` exposes the same
+``select(dataset, budget, *, initial_weights=None, eta=None)`` contract as
+:class:`repro.core.firal.ApproxFIRAL`, but executes the RELAX mirror descent
+and every ROUND solve (including the § IV-A η grid search) across
+``num_ranks`` ranks of the chosen transport — threads
+(``transport="simulated"``) or real spawned OS processes
+(``transport="shared_memory"``).  It is what
+:class:`repro.baselines.FIRALStrategy` swaps in when a session is configured
+with ``SessionConfig.parallel_ranks``, so a whole active-learning run can
+execute its selection step across processes while the engine, strategies and
+oracle loop stay unchanged.
+
+Numerics: the distributed RELAX solver runs a fixed iteration budget and does
+not track the mirror-descent objective (the paper's multi-GPU implementation
+behaves the same way — objective tracking is a serial-diagnostics feature).
+The ``relax_config`` is therefore normalized to ``track_objective="none"``;
+a serial :class:`ApproxFIRAL` with that same configuration selects
+identically on the NumPy backend, which the engine test suite pins.
+
+Cost note on the η grid search: each grid trial is a full ``distributed_round``
+launch, so under ``transport="shared_memory"`` every trial re-spawns the rank
+processes and re-ships the shards (~1 s per rank of interpreter start-up per
+trial, plus the η-independent ``Sigma_*`` setup the serial path hoists once
+via ``RoundPrecompute``).  Prefer a fixed ``round_config.eta`` or the session
+engine's ``reuse_eta`` (one trial per round after the first) with the real
+transport; running the whole grid *inside* one rank launch is the planned
+follow-up (see the ROADMAP multiprocess item).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.backend import Array
+from repro.core.config import RelaxConfig, RoundConfig
+from repro.core.eta_selection import select_eta
+from repro.core.firal import _FIRALBase
+from repro.fisher.operators import FisherDataset
+from repro.parallel.distributed_relax import distributed_relax
+from repro.parallel.distributed_round import distributed_round
+from repro.parallel.launcher import TRANSPORTS
+from repro.utils.validation import require
+
+__all__ = ["DistributedApproxFIRAL"]
+
+
+class DistributedApproxFIRAL(_FIRALBase):
+    """Approx-FIRAL (Algorithms 2 + 3) executed over ``num_ranks`` ranks.
+
+    Parameters
+    ----------
+    relax_config / round_config:
+        Solver options, as for :class:`~repro.core.firal.ApproxFIRAL`.
+        ``relax_config.track_objective`` is forced to ``"none"`` (see the
+        module docstring); everything else is preserved.
+    num_ranks:
+        Communicator size — threads (simulated) or processes (shared memory).
+    transport:
+        ``"simulated"`` or ``"shared_memory"``.
+    timeout:
+        Seconds a rank may wait at a collective before the run is declared
+        dead (shared-memory transport).
+    """
+
+    #: same algorithm as the serial selector — only the execution substrate
+    #: differs, so results/labels stay comparable across runs.
+    name = "approx-firal"
+
+    def __init__(
+        self,
+        relax_config: Optional[RelaxConfig] = None,
+        round_config: Optional[RoundConfig] = None,
+        *,
+        num_ranks: int,
+        transport: str = "simulated",
+        timeout: float = 120.0,
+    ):
+        require(num_ranks > 0, "num_ranks must be positive")
+        require(transport in TRANSPORTS, f"unknown transport '{transport}'; use one of {TRANSPORTS}")
+        relax_config = relax_config or RelaxConfig()
+        if relax_config.track_objective != "none":
+            relax_config = replace(relax_config, track_objective="none")
+        super().__init__(relax_config, round_config)
+        self.num_ranks = int(num_ranks)
+        self.transport = transport
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------ #
+    # _FIRALBase hooks
+    # ------------------------------------------------------------------ #
+    def _relax(self, dataset: FisherDataset, budget: int, initial_weights: Optional[Array]):
+        return distributed_relax(
+            dataset,
+            budget,
+            num_ranks=self.num_ranks,
+            config=self.relax_config,
+            transport=self.transport,
+            initial_weights=initial_weights,
+            timeout=self.timeout,
+        )
+
+    def _round_solver_call(self, dataset, z_relaxed, budget, eta, config):
+        """ROUND-solver adapter with the serial solvers' call signature."""
+
+        return distributed_round(
+            dataset,
+            z_relaxed,
+            int(budget),
+            float(eta),
+            num_ranks=self.num_ranks,
+            config=config,
+            transport=self.transport,
+            timeout=self.timeout,
+        )
+
+    def _round(self, dataset: FisherDataset, weights: Array, budget: int, eta: float):
+        return self._round_solver_call(dataset, weights, budget, eta, self.round_config)
+
+    def _round_search(self, dataset: FisherDataset, weights: Array, budget: int):
+        return select_eta(
+            self._round_solver_call,
+            dataset,
+            weights,
+            budget,
+            eta_grid=self.round_config.eta_grid,
+            config=self.round_config,
+        )

@@ -20,7 +20,7 @@ import numpy as np  # host-side index bookkeeping only
 from repro.fisher.operators import FisherDataset
 from repro.utils.validation import require
 
-__all__ = ["block_partition", "partition_indices", "partition_pool"]
+__all__ = ["block_partition", "partition_indices", "partition_pool", "pool_offsets"]
 
 
 def block_partition(total: int, num_parts: int) -> List[slice]:
@@ -50,13 +50,30 @@ def partition_indices(total: int, num_parts: int) -> List[np.ndarray]:
     return [np.arange(s.start, s.stop, dtype=np.int64) for s in block_partition(total, num_parts)]
 
 
+def pool_offsets(total: int, num_ranks: int) -> np.ndarray:
+    """Global start offset of every rank's pool shard (length ``num_ranks + 1``).
+
+    ``offsets[r] : offsets[r + 1]`` is rank ``r``'s contiguous slice of the
+    global pool; every rank of an SPMD solver holds the full offset table so
+    it can translate an ``argmax_allreduce`` winner's (owner, local index)
+    pair into a global pool index.
+    """
+
+    sizes = [sl.stop - sl.start for sl in block_partition(total, num_ranks)]
+    return np.cumsum([0] + sizes, dtype=np.int64)
+
+
 def partition_pool(dataset: FisherDataset, num_ranks: int) -> List[FisherDataset]:
     """Split the pool of a :class:`FisherDataset` across ranks.
 
     Every shard keeps the full labeled set (replication) and a contiguous
     slice of the pool.  Shards must be non-empty: the pool is required to
     have at least one point per rank, which matches the paper's weak/strong
-    scaling regimes (tens of thousands of points per GPU).
+    scaling regimes (tens of thousands of points per GPU).  A precomputed
+    ``labeled_block_cache`` is shared by reference with every shard — the
+    labeled set is replicated, so the cached ``B(H_o)`` is too, and the
+    distributed solvers stay bit-identical to a serial solve that used the
+    same cache.
     """
 
     require(num_ranks > 0, "num_ranks must be positive")
@@ -72,6 +89,7 @@ def partition_pool(dataset: FisherDataset, num_ranks: int) -> List[FisherDataset
                 pool_probabilities=dataset.pool_probabilities[sl],
                 labeled_features=dataset.labeled_features,
                 labeled_probabilities=dataset.labeled_probabilities,
+                labeled_block_cache=dataset.labeled_block_cache,
             )
         )
     return shards

@@ -498,3 +498,98 @@ class TestPointStore:
         np.testing.assert_array_equal(
             np.asarray(view, dtype=np.float64), store.pool_features_host().astype(np.float64)
         )
+
+
+# --------------------------------------------------------------------- #
+# Multi-rank selection (SessionConfig.parallel_ranks)
+# --------------------------------------------------------------------- #
+def _parallel_capable_strategy():
+    """ApproxFIRAL with the distributed solvers' configuration contract.
+
+    The distributed RELAX solver runs a fixed iteration budget without
+    objective tracking, so the serial reference uses ``track_objective="none"``
+    too — that is the documented equivalence contract of
+    ``SessionConfig.parallel_ranks``.
+    """
+
+    return FIRALStrategy(
+        ApproxFIRAL(
+            RelaxConfig(max_iterations=4, track_objective="none", seed=0),
+            RoundConfig(eta=1.0),
+        )
+    )
+
+
+def _run_session(problem, config):
+    session = ActiveSession(
+        problem,
+        _parallel_capable_strategy(),
+        budget_per_round=4,
+        num_rounds=3,
+        seed=0,
+        config=config,
+    )
+    result = session.run()
+    return (
+        [record.eval_accuracy for record in result.records],
+        session.store.labeled_ids.copy(),
+    )
+
+
+class TestParallelSession:
+    def test_simulated_parallel_session_matches_serial(self, problem):
+        """A whole FIRAL session over 2 simulated ranks selects identically."""
+
+        serial_curve, serial_ids = _run_session(problem, SessionConfig())
+        parallel_curve, parallel_ids = _run_session(problem, SessionConfig(parallel_ranks=2))
+        assert parallel_curve == serial_curve
+        np.testing.assert_array_equal(parallel_ids, serial_ids)
+
+    @pytest.mark.multiprocess
+    def test_shared_memory_parallel_session_matches_serial(self, problem):
+        """A whole FIRAL session runs its selection across real OS processes."""
+
+        serial_curve, serial_ids = _run_session(problem, SessionConfig())
+        parallel_curve, parallel_ids = _run_session(
+            problem, SessionConfig(parallel_ranks=2, parallel_transport="shared_memory")
+        )
+        assert parallel_curve == serial_curve
+        np.testing.assert_array_equal(parallel_ids, serial_ids)
+
+    def test_parallel_ranks_rejects_exact_firal(self, problem):
+        """Exact-FIRAL has no distributed formulation; fail at session start."""
+
+        with pytest.raises(ValueError, match="ApproxFIRAL"):
+            ActiveSession(
+                problem,
+                _exact_firal_strategy(),
+                budget_per_round=4,
+                num_rounds=2,
+                seed=0,
+                config=SessionConfig(parallel_ranks=2),
+            )
+
+    def test_parallel_ranks_ignored_by_baselines(self, problem):
+        """Non-FIRAL strategies ignore the request, like relax_warm_start."""
+
+        session = ActiveSession(
+            problem,
+            RandomStrategy(),
+            budget_per_round=4,
+            num_rounds=2,
+            seed=0,
+            config=SessionConfig(parallel_ranks=2),
+        )
+        result = session.run()
+        assert len(result.records) == 3  # initial + 2 rounds
+
+    def test_invalid_parallel_ranks_rejected(self, problem):
+        with pytest.raises(ValueError):
+            ActiveSession(
+                problem,
+                _parallel_capable_strategy(),
+                budget_per_round=4,
+                num_rounds=2,
+                seed=0,
+                config=SessionConfig(parallel_ranks=0),
+            )

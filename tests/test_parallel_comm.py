@@ -1,9 +1,28 @@
-"""Tests for the simulated MPI communicator and its traffic log."""
+"""Tests for the MPI-like communicator protocol and its traffic log.
+
+The collectives are exercised through :func:`repro.parallel.launcher.run_spmd`
+over the simulated (thread) transport — the same way the distributed solvers
+drive them — so the rendezvous protocol itself is under test, not just the
+combine arithmetic.  The shared-memory (process) transport is covered in
+``tests/test_parallel_launcher.py`` under the ``multiprocess`` marker.
+"""
 
 import numpy as np
 import pytest
 
-from repro.parallel.comm import CommunicationLog, SimulatedComm, create_communicators
+from repro.parallel.comm import (
+    CommProtocolError,
+    CommunicationLog,
+    SimulatedComm,
+    create_communicators,
+)
+from repro.parallel.launcher import run_spmd
+
+
+def spmd(body, num_ranks):
+    """Run ``body(comm, rank)`` over ``num_ranks`` simulated ranks."""
+
+    return run_spmd(body, list(range(num_ranks)))
 
 
 class TestCommunicationLog:
@@ -28,65 +47,236 @@ class TestCommunicationLog:
         assert merged.calls == {"bcast": 3, "allgather": 1}
         assert merged.bytes_moved == {"bcast": 24, "allgather": 4}
 
+    def test_merge_is_associative_and_leaves_inputs_untouched(self):
+        """Merging rank logs must not depend on the launcher's merge order."""
+
+        a = CommunicationLog({"allreduce": 1}, {"allreduce": 8})
+        b = CommunicationLog({"allreduce": 2, "bcast": 1}, {"allreduce": 16, "bcast": 4})
+        c = CommunicationLog({"bcast": 3, "allgather": 5}, {"bcast": 12, "allgather": 40})
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.as_dict() == right.as_dict()
+        # merge returns a new log; the operands keep their own counters.
+        assert a.calls == {"allreduce": 1}
+        assert b.bytes_moved == {"allreduce": 16, "bcast": 4}
+
     def test_as_dict(self):
         log = CommunicationLog()
         log.record("allgather", 7)
         assert log.as_dict() == {"calls": {"allgather": 1}, "bytes": {"allgather": 7}}
 
 
-class TestCollectives:
-    def test_allreduce_sum(self):
-        log = CommunicationLog()
-        out = SimulatedComm.allreduce([np.ones(4), 2 * np.ones(4), 3 * np.ones(4)], log)
-        np.testing.assert_array_equal(out, 6 * np.ones(4))
-        assert log.calls["allreduce"] == 1
-        assert log.bytes_moved["allreduce"] == np.ones(4).nbytes
+class TestAllreduce:
+    def test_sum(self):
+        def body(comm, rank):
+            return comm.allreduce((rank + 1) * np.ones(4))
 
-    def test_allreduce_max_and_min(self):
-        log = CommunicationLog()
+        outputs = spmd(body, 3)
+        for out in outputs:
+            np.testing.assert_array_equal(out, 6 * np.ones(4))
+
+    def test_max_and_min(self):
         parts = [np.array([1.0, 5.0]), np.array([3.0, 2.0])]
-        np.testing.assert_array_equal(SimulatedComm.allreduce(parts, log, op="max"), [3.0, 5.0])
-        np.testing.assert_array_equal(SimulatedComm.allreduce(parts, log, op="min"), [1.0, 2.0])
 
-    def test_allreduce_unknown_op(self):
-        with pytest.raises(ValueError):
-            SimulatedComm.allreduce([np.ones(2)], CommunicationLog(), op="prod")
+        def body(comm, rank):
+            return (
+                comm.allreduce(parts[rank], op="max"),
+                comm.allreduce(parts[rank], op="min"),
+            )
 
-    def test_allreduce_shape_mismatch(self):
-        with pytest.raises(ValueError):
-            SimulatedComm.allreduce([np.ones(2), np.ones(3)], CommunicationLog())
+        outputs = spmd(body, 2)
+        for mx, mn in outputs:
+            np.testing.assert_array_equal(mx, [3.0, 5.0])
+            np.testing.assert_array_equal(mn, [1.0, 2.0])
 
+    def test_unknown_op_rejected(self):
+        def body(comm, rank):
+            return comm.allreduce(np.ones(2), op="prod")
+
+        with pytest.raises(ValueError, match="unsupported allreduce op"):
+            spmd(body, 2)
+
+    def test_shape_mismatch_rejected(self):
+        """Ranks posting different shapes is a hard error, not a silent pad."""
+
+        def body(comm, rank):
+            return comm.allreduce(np.ones(2 + rank))
+
+        with pytest.raises(ValueError, match="share a shape"):
+            spmd(body, 2)
+
+    def test_logged_once_per_collective(self):
+        def body(comm, rank):
+            comm.allreduce(np.ones(4))
+            return comm.log
+
+        log = spmd(body, 3)[0]
+        assert log.calls == {"allreduce": 1}
+        assert log.bytes_moved == {"allreduce": np.ones(4).nbytes}
+
+
+class TestAllgatherAndBcast:
     def test_allgather_concatenates_in_rank_order(self):
-        log = CommunicationLog()
-        out = SimulatedComm.allgather([np.array([0, 1]), np.array([2]), np.array([3, 4])], log)
-        np.testing.assert_array_equal(out, [0, 1, 2, 3, 4])
+        parts = [np.array([0, 1]), np.array([2]), np.array([3, 4])]
+
+        def body(comm, rank):
+            return comm.allgather(np.asarray(parts[rank], dtype=np.float64))
+
+        outputs = spmd(body, 3)
+        for out in outputs:
+            np.testing.assert_array_equal(out, [0, 1, 2, 3, 4])
+
+    def test_allgather_logs_total_traffic(self):
+        def body(comm, rank):
+            comm.allgather(np.ones(rank + 1))
+            return comm.log
+
+        log = spmd(body, 2)[0]
         assert log.calls["allgather"] == 1
+        assert log.bytes_moved["allgather"] == np.ones(1).nbytes + np.ones(2).nbytes
 
-    def test_bcast_returns_value_and_logs(self):
-        log = CommunicationLog()
+    def test_bcast_from_nonzero_root(self):
         value = np.arange(6, dtype=np.float32)
-        out = SimulatedComm.bcast(value, log)
-        np.testing.assert_array_equal(out, value)
-        assert log.bytes_moved["bcast"] == value.nbytes
 
-    def test_argmax_allreduce_picks_global_winner(self):
-        log = CommunicationLog()
-        owner, index, value = SimulatedComm.argmax_allreduce(
-            [1.0, 7.0, 3.0], [10, 20, 30], log
-        )
-        assert owner == 1
-        assert index == 20
-        assert value == 7.0
+        def body(comm, rank):
+            out = comm.bcast(value if rank == 1 else None, root=1)
+            return out, comm.log
 
-    def test_argmax_allreduce_length_mismatch(self):
-        with pytest.raises(ValueError):
-            SimulatedComm.argmax_allreduce([1.0], [1, 2], CommunicationLog())
+        outputs = spmd(body, 3)
+        for out, log in outputs:
+            np.testing.assert_array_equal(out, value)
+            assert log.bytes_moved["bcast"] == value.nbytes
+
+    def test_bcast_root_must_provide_value(self):
+        def body(comm, rank):
+            return comm.bcast(None, root=0)
+
+        with pytest.raises(ValueError, match="root must provide a value"):
+            spmd(body, 2)
+
+    def test_bcast_root_out_of_range(self):
+        def body(comm, rank):
+            return comm.bcast(np.ones(1), root=5)
+
+        with pytest.raises(ValueError, match="root out of range"):
+            spmd(body, 2)
+
+
+class TestArgmaxAllreduce:
+    def test_picks_global_winner(self):
+        values = [1.0, 7.0, 3.0]
+        indices = [10, 20, 30]
+
+        def body(comm, rank):
+            return comm.argmax_allreduce(values[rank], indices[rank])
+
+        for owner, index, value in spmd(body, 3):
+            assert (owner, index, value) == (1, 20, 7.0)
+
+    def test_ties_resolve_to_lowest_rank(self):
+        """MPI MAXLOC semantics: equal maxima belong to the smallest rank.
+
+        Pinned explicitly — resolving ties by a backend ``argmax`` would make
+        the winner depend on the array library's unspecified tie behavior.
+        """
+
+        values = [5.0, 5.0, 5.0]
+        indices = [11, 22, 33]
+
+        def body(comm, rank):
+            return comm.argmax_allreduce(values[rank], indices[rank])
+
+        for owner, index, value in spmd(body, 3):
+            assert (owner, index, value) == (0, 11, 5.0)
+
+    def test_tie_on_later_ranks_only(self):
+        values = [1.0, 4.0, 4.0]
+
+        def body(comm, rank):
+            return comm.argmax_allreduce(values[rank], 100 + rank)
+
+        for owner, index, value in spmd(body, 3):
+            assert (owner, index, value) == (1, 101, 4.0)
+
+    def test_traffic_charged_as_value_plus_index_per_rank(self):
+        def body(comm, rank):
+            comm.argmax_allreduce(float(rank), rank)
+            return comm.log
+
+        log = spmd(body, 3)[0]
+        # One float64 value + one int64 index per rank, same as the
+        # shared-memory transport charges.
+        assert log.bytes_moved["allreduce"] == 3 * 16
+
+
+class TestProtocol:
+    def test_divergent_collectives_raise(self):
+        """A rank calling a different collective than its peers must fail loudly."""
+
+        def body(comm, rank):
+            if rank == 0:
+                return comm.allreduce(np.ones(2))
+            return comm.bcast(np.ones(2), root=1)
+
+        with pytest.raises(CommProtocolError, match="diverged"):
+            spmd(body, 2)
+
+    def test_failing_rank_propagates_original_error(self):
+        def body(comm, rank):
+            if rank == 1:
+                raise RuntimeError("rank 1 exploded")
+            comm.allreduce(np.ones(2))
+
+        with pytest.raises(RuntimeError, match="rank 1 exploded"):
+            spmd(body, 2)
+
+    def test_unmatched_collective_times_out_instead_of_hanging(self):
+        """A rank whose peers already returned must fail, not freeze the run."""
+
+        from repro.parallel.comm import CommAbortedError
+
+        def body(comm, rank):
+            if rank == 0:
+                comm.barrier()  # rank 1 never posts the matching collective
+            return rank
+
+        with pytest.raises(CommAbortedError, match="unmatched"):
+            run_spmd(body, [0, 1], timeout=0.5)
+
+    def test_barrier_moves_no_data(self):
+        def body(comm, rank):
+            comm.barrier()
+            return comm.log
+
+        log = spmd(body, 2)[0]
+        assert log.total_bytes() == 0
+        assert log.total_calls() == 0
+
+
+class TestSingleRank:
+    """With one rank every collective is the identity and runs inline."""
+
+    def test_collectives_degenerate(self):
+        def body(comm, rank):
+            s = comm.allreduce(np.array([2.0, 3.0]))
+            g = comm.allgather(np.array([1.0]))
+            b = comm.bcast(np.array([9.0]))
+            owner, index, value = comm.argmax_allreduce(4.0, 7)
+            comm.barrier()
+            return s, g, b, (owner, index, value)
+
+        s, g, b, winner = spmd(body, 1)[0]
+        np.testing.assert_array_equal(s, [2.0, 3.0])
+        np.testing.assert_array_equal(g, [1.0])
+        np.testing.assert_array_equal(b, [9.0])
+        assert winner == (0, 7, 4.0)
 
 
 class TestCommunicatorHandles:
     def test_create_communicators_shares_log(self):
         comms = create_communicators(3)
         assert len(comms) == 3
+        assert all(isinstance(c, SimulatedComm) for c in comms)
         assert all(c.size == 3 for c in comms)
         assert comms[0].log is comms[1].log is comms[2].log
         assert [c.rank for c in comms] == [0, 1, 2]

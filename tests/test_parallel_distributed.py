@@ -10,10 +10,12 @@ import pytest
 
 from repro.core.approx_relax import approx_relax
 from repro.core.approx_round import approx_round
-from repro.core.config import RelaxConfig
+from repro.core.config import RelaxConfig, RoundConfig
+from repro.core.firal import ApproxFIRAL
 from repro.parallel.cluster import ScalingMeasurement, SimulatedCluster
 from repro.parallel.distributed_relax import distributed_relax
 from repro.parallel.distributed_round import distributed_round
+from repro.parallel.firal import DistributedApproxFIRAL
 from tests.conftest import make_fisher_dataset
 
 
@@ -94,6 +96,62 @@ class TestDistributedRound:
             distributed_round(dataset, z_relaxed, 0, 1.0, num_ranks=2)
         with pytest.raises(ValueError):
             distributed_round(dataset, np.ones(3), 2, 1.0, num_ranks=2)
+
+
+class TestDistributedRelaxWarmStart:
+    def test_initial_weights_match_serial(self, dataset):
+        """The driver slices the warm-start iterate exactly as the serial solver."""
+
+        rng = np.random.default_rng(3)
+        z0 = rng.uniform(0.1, 1.0, size=dataset.num_pool)
+        serial = approx_relax(dataset, budget=6, config=relax_config(), initial_weights=z0)
+        distributed = distributed_relax(
+            dataset, 6, num_ranks=1, config=relax_config(), initial_weights=z0
+        )
+        np.testing.assert_allclose(distributed.weights, serial.weights, rtol=1e-6, atol=1e-9)
+
+
+class TestDistributedApproxFIRAL:
+    """The full RELAX → η → ROUND selector over distributed solvers."""
+
+    def _serial(self, eta=None):
+        return ApproxFIRAL(
+            RelaxConfig(max_iterations=3, track_objective="none", seed=7),
+            RoundConfig(eta=eta, eta_grid=(0.5, 2.0)),
+        )
+
+    def _distributed(self, num_ranks, eta=None):
+        return DistributedApproxFIRAL(
+            RelaxConfig(max_iterations=3, track_objective="none", seed=7),
+            RoundConfig(eta=eta, eta_grid=(0.5, 2.0)),
+            num_ranks=num_ranks,
+        )
+
+    @pytest.mark.parametrize("num_ranks", [1, 2, 3])
+    def test_fixed_eta_selects_serial_points(self, dataset, num_ranks):
+        serial = self._serial(eta=1.0).select(dataset, 5)
+        distributed = self._distributed(num_ranks, eta=1.0).select(dataset, 5)
+        np.testing.assert_array_equal(
+            distributed.selected_indices, serial.selected_indices
+        )
+
+    def test_eta_grid_search_selects_serial_points(self, dataset):
+        serial = self._serial().select(dataset, 4)
+        distributed = self._distributed(2).select(dataset, 4)
+        np.testing.assert_array_equal(
+            distributed.selected_indices, serial.selected_indices
+        )
+        assert distributed.round.eta == serial.round.eta
+
+    def test_objective_tracking_normalized_away(self):
+        selector = DistributedApproxFIRAL(RelaxConfig(track_objective="exact"), num_ranks=2)
+        assert selector.relax_config.track_objective == "none"
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedApproxFIRAL(num_ranks=0)
+        with pytest.raises(ValueError):
+            DistributedApproxFIRAL(num_ranks=2, transport="mpi")
 
 
 class TestSimulatedCluster:
