@@ -20,12 +20,22 @@ the end-to-end shape is CG-dominated with a small labeled set, the payload
 additionally carries a ``fisher_maintenance`` series that isolates the
 incremental accumulator's own per-round cost against the from-scratch
 ``B(H_o)`` reassembly as the labeled set grows — the ``O(b c d^2)`` vs
-``O(m c d^2)`` crossover that dominates at production label counts.
+``O(m c d^2)`` crossover that dominates at production label counts — and a
+bounded-staleness variant (``SessionConfig.fisher_refresh_every``) that pays
+one full reassembly every K rounds to cap classifier drift while keeping the
+amortized cost near the pure accumulator's.
+
+``--store`` swaps the session's pool store: ``dense`` (default),
+``streaming`` (a fraction of the pool is held back and streamed in between
+rounds via ``ActiveSession.extend_pool`` — the pool-replenishment scenario),
+or ``sharded`` (a ``ShardedPointStore`` with 2-rank multi-rank selection
+scattered along shard ownership).
 
 Run as a script:
 
     PYTHONPATH=src python benchmarks/bench_active_rounds.py --mode legacy  --label before
     PYTHONPATH=src python benchmarks/bench_active_rounds.py --mode session --label after
+    PYTHONPATH=src python benchmarks/bench_active_rounds.py --store streaming --label streaming
     python benchmarks/compare.py results/BENCH_active_rounds_before.json \
                                  results/BENCH_active_rounds_after.json
 
@@ -44,15 +54,23 @@ import time
 
 import numpy as np
 
+from repro.active.problem import ActiveLearningProblem
 from repro.baselines.base import FIRALStrategy
 from repro.core.config import RelaxConfig, RoundConfig
 from repro.core.firal import ApproxFIRAL
 from repro.datasets.registry import build_problem
 from repro.engine.session import ActiveSession, SessionConfig
+from repro.engine.stores import ShardedPointStore, StreamingPointStore
 from repro.fisher.accumulator import LabeledFisherAccumulator
 from repro.fisher.hessian import block_diagonal_of_sum
 
 from _utils import bench_payload, random_probabilities, write_bench_json
+
+#: Fraction of the pool visible at session start under ``--store streaming``;
+#: the remainder is streamed back in between rounds.
+STREAMING_INITIAL_FRACTION = 0.6
+#: Ranks (= store shards) under ``--store sharded``.
+SHARDED_RANKS = 2
 
 REFERENCE_SHAPE = {"dataset": "cifar10", "scale": 0.25, "rounds": 10, "budget": 10}
 TINY_SHAPE = {"dataset": "cifar10", "scale": 0.05, "rounds": 4, "budget": 5}
@@ -90,7 +108,10 @@ def fisher_maintenance_series(
 
     acc = LabeledFisherAccumulator(dimension, num_classes)
     acc.add(features[:initial], probs[:initial])
-    from_scratch_seconds, incremental_seconds, labeled_counts = [], [], []
+    bounded = LabeledFisherAccumulator(dimension, num_classes)
+    bounded.add(features[:initial], probs[:initial])
+    refresh_every = max(rounds // 2, 2)
+    from_scratch_seconds, incremental_seconds, bounded_seconds, labeled_counts = [], [], [], []
     for r in range(rounds):
         lo = initial + r * budget
         hi = lo + budget
@@ -101,7 +122,17 @@ def fisher_maintenance_series(
         t0 = time.perf_counter()
         acc.add(features[lo:hi], probs[lo:hi])
         incremental_seconds.append(time.perf_counter() - t0)
+        # Bounded staleness (SessionConfig.fisher_refresh_every): every K
+        # rounds the accumulator is rebuilt from scratch (capping drift at
+        # K - 1 rounds); the other rounds add only the new batch.
+        t0 = time.perf_counter()
+        if r > 0 and r % refresh_every == 0:
+            bounded.reset()
+            bounded.add(features[:lo], probs[:lo])
+        bounded.add(features[lo:hi], probs[lo:hi])
+        bounded_seconds.append(time.perf_counter() - t0)
 
+    mean = lambda xs: sum(xs) / len(xs)  # noqa: E731 - tiny local reduction
     return {
         "dimension": dimension,
         "num_classes": num_classes,
@@ -110,12 +141,61 @@ def fisher_maintenance_series(
         "from_scratch_seconds": from_scratch_seconds,
         "incremental_seconds": incremental_seconds,
         "final_round_speedup": from_scratch_seconds[-1] / max(incremental_seconds[-1], 1e-12),
+        "refresh_every": refresh_every,
+        "bounded_staleness_seconds": bounded_seconds,
+        "bounded_amortized_speedup": mean(from_scratch_seconds) / max(mean(bounded_seconds), 1e-12),
     }
 
 
-def run(shape: dict, mode: str, *, seed: int = 0) -> dict:
+def _streaming_split(problem: ActiveLearningProblem, rounds: int):
+    """Hold back a tail of the pool; return (reduced problem, per-boundary chunks).
+
+    A session of ``rounds`` rounds has ``rounds - 1`` between-round
+    boundaries, so the held-back tail is split into exactly that many chunks
+    — every held point re-enters the pool before the final round.
+    """
+
+    visible = int(problem.pool_size * STREAMING_INITIAL_FRACTION)
+    visible = max(visible, rounds * 1)  # never smaller than one point per round
+    if rounds == 1:
+        visible = problem.pool_size  # no boundary to stream at; hold nothing back
+    reduced = ActiveLearningProblem(
+        initial_features=problem.initial_features,
+        initial_labels=problem.initial_labels,
+        pool_features=problem.pool_features[:visible],
+        pool_labels=problem.pool_labels[:visible],
+        eval_features=problem.eval_features,
+        eval_labels=problem.eval_labels,
+        num_classes=problem.num_classes,
+        name=problem.name,
+    )
+    held_f = problem.pool_features[visible:]
+    held_y = problem.pool_labels[visible:]
+    num_chunks = max(rounds - 1, 1)  # rounds == 1 makes one empty, never-fed chunk
+    bounds = np.linspace(0, held_f.shape[0], num_chunks + 1).astype(int)
+    chunks = [
+        (held_f[bounds[r] : bounds[r + 1]], held_y[bounds[r] : bounds[r + 1]])
+        for r in range(num_chunks)
+    ]
+    return reduced, chunks
+
+
+def run(shape: dict, mode: str, *, store: str = "dense", seed: int = 0) -> dict:
     problem = build_problem(shape["dataset"], scale=shape["scale"], seed=seed)
     config = SessionConfig.fast() if mode == "session" else SessionConfig()
+    chunks = None
+    extra = {}
+    if store == "streaming":
+        problem, chunks = _streaming_split(problem, shape["rounds"])
+        config.store = StreamingPointStore.from_problem
+        extra["streaming"] = {
+            "initial_pool": problem.pool_size,
+            "replenished": int(sum(c[0].shape[0] for c in chunks)),
+        }
+    elif store == "sharded":
+        config.store = ShardedPointStore.factory(num_shards=SHARDED_RANKS)
+        config.parallel_ranks = SHARDED_RANKS
+        extra["sharded"] = {"num_shards": SHARDED_RANKS, "transport": config.parallel_transport}
     session = ActiveSession(
         problem,
         make_strategy(),
@@ -127,8 +207,11 @@ def run(shape: dict, mode: str, *, seed: int = 0) -> dict:
 
     round_seconds = []
     start = time.perf_counter()
-    for _ in range(shape["rounds"]):
+    for r in range(shape["rounds"]):
         t0 = time.perf_counter()
+        if chunks is not None and r > 0 and chunks[r - 1][0].shape[0] > 0:
+            # Replenish at the round boundary, as a streaming feed would.
+            session.extend_pool(*chunks[r - 1])
         session.step()
         round_seconds.append(time.perf_counter() - t0)
     total_seconds = time.perf_counter() - start
@@ -139,6 +222,7 @@ def run(shape: dict, mode: str, *, seed: int = 0) -> dict:
         wall_clock_seconds=total_seconds,
         mode=mode,
         shape=shape,
+        store=store,
         pool_size=problem.pool_size,
         dimension=problem.dimension,
         num_classes=problem.num_classes,
@@ -156,6 +240,7 @@ def run(shape: dict, mode: str, *, seed: int = 0) -> dict:
             "resident_pool": config.resident_pool,
         },
         fisher_maintenance=fisher_maintenance_series(),
+        **extra,
     )
 
 
@@ -169,10 +254,17 @@ def main() -> None:
     )
     parser.add_argument("--label", default=None, help="suffix for the BENCH json filename")
     parser.add_argument("--tiny", action="store_true", help="CI-smoke shape (seconds, not minutes)")
+    parser.add_argument(
+        "--store",
+        choices=("dense", "streaming", "sharded"),
+        default="dense",
+        help="pool store backing the session (streaming replenishes between rounds; "
+        "sharded scatters 2-rank selection along shard ownership)",
+    )
     args = parser.parse_args()
 
     shape = TINY_SHAPE if args.tiny else REFERENCE_SHAPE
-    payload = run(shape, args.mode)
+    payload = run(shape, args.mode, store=args.store)
     name = "active_rounds"
     if args.tiny:
         name += "_tiny"
@@ -180,7 +272,7 @@ def main() -> None:
     path = write_bench_json(name, payload)
     print(f"wrote {path}")
     print(
-        f"{args.mode}: {payload['wall_clock_seconds']:.2f}s total, "
+        f"{args.mode}/{args.store}: {payload['wall_clock_seconds']:.2f}s total, "
         f"{payload['mean_round_seconds']:.3f}s/round "
         f"(final eval acc {payload['final_eval_accuracy']:.4f})"
     )

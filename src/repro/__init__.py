@@ -46,7 +46,15 @@ from repro.fisher import FisherDataset
 from repro.models import LogisticRegressionClassifier
 from repro.datasets import DatasetSpec, build_problem, get_dataset_spec, list_dataset_names
 from repro.active import ActiveLearningProblem, run_active_learning, run_trials
-from repro.engine import ActiveSession, SessionConfig
+from repro.engine import (
+    ActiveSession,
+    DensePointStore,
+    PointStore,
+    PoolStore,
+    SessionConfig,
+    ShardedPointStore,
+    StreamingPointStore,
+)
 
 __version__ = "1.0.0"
 
@@ -82,4 +90,9 @@ __all__ = [
     "run_trials",
     "ActiveSession",
     "SessionConfig",
+    "PoolStore",
+    "DensePointStore",
+    "PointStore",
+    "ShardedPointStore",
+    "StreamingPointStore",
 ]

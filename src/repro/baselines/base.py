@@ -76,6 +76,16 @@ class SessionInfo:
     parallel_transport:
         Transport for ``parallel_ranks``: ``"simulated"`` (threads) or
         ``"shared_memory"`` (real spawned OS processes).
+    store_kind:
+        Which :class:`~repro.engine.PoolStore` flavor backs the session
+        (``"dense"`` / ``"sharded"`` / ``"streaming"``).  Strategies need no
+        store-specific code — the store contract is uniform — but stateful
+        ones may use this to anticipate e.g. pool growth under a streaming
+        store.
+    num_store_shards:
+        Shard count of a sharded store (``None`` otherwise).  When set
+        together with ``parallel_ranks``, each rank's scatter follows the
+        store's shard ownership (``SelectionContext.shard_offsets``).
     """
 
     num_classes: int
@@ -87,6 +97,8 @@ class SessionInfo:
     reuse_eta: bool = False
     parallel_ranks: Optional[int] = None
     parallel_transport: str = "simulated"
+    store_kind: str = "dense"
+    num_store_shards: Optional[int] = None
 
 
 @dataclass
@@ -144,6 +156,12 @@ class SelectionContext:
         from session-resident (possibly device-resident) arrays — including a
         cached/incremental ``B(H_o)`` — so :meth:`fisher_dataset` can return
         it instead of re-deriving everything from the host views above.
+    shard_offsets:
+        Optional pool-view partition boundaries by owning shard (length
+        ``num_shards + 1``), present when the session's store is sharded.
+        Rows ``shard_offsets[r] : shard_offsets[r + 1]`` of the pool view
+        belong to shard ``r``; multi-rank FIRAL selection scatters along
+        these boundaries instead of re-balancing the pool every round.
     """
 
     pool_features: np.ndarray
@@ -155,6 +173,7 @@ class SelectionContext:
     pool_ids: Optional[np.ndarray] = None
     round_index: Optional[int] = None
     prepared_fisher: Optional[FisherDataset] = field(default=None, repr=False)
+    shard_offsets: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         self.pool_features = check_features(self.pool_features, "pool_features")
@@ -174,6 +193,15 @@ class SelectionContext:
             require(
                 self.pool_ids.shape[0] == self.pool_features.shape[0],
                 "pool_ids must have one id per pool point",
+            )
+        if self.shard_offsets is not None:
+            self.shard_offsets = np.asarray(self.shard_offsets, dtype=np.int64).ravel()
+            require(self.shard_offsets.shape[0] >= 2, "shard_offsets needs at least one shard")
+            require(
+                int(self.shard_offsets[0]) == 0
+                and int(self.shard_offsets[-1]) == self.pool_features.shape[0]
+                and bool(np.all(np.diff(self.shard_offsets) >= 0)),
+                "shard_offsets must partition the pool view",
             )
 
     def fisher_dataset(self) -> FisherDataset:
@@ -450,7 +478,20 @@ class FIRALStrategy(SelectionStrategy):
             kwargs["initial_weights"] = initial_weights
         if self._reuse_eta_active and self._previous_eta is not None:
             kwargs["eta"] = self._previous_eta
-        result = self._effective_selector().select(dataset, context.budget, **kwargs)
+        selector = self._effective_selector()
+        if hasattr(selector, "partition_offsets"):
+            # Shard-aware scatter: a sharded store's session publishes the
+            # round's ownership boundaries; the distributed selector splits
+            # along them (None restores the balanced default).  Refreshed
+            # every round — labeling shrinks shards unevenly, and a shard
+            # that ran completely dry cannot be a rank (every rank must hold
+            # at least one candidate for the local argmax), so the round
+            # falls back to the balanced split until the pool is replenished.
+            offsets = context.shard_offsets
+            if offsets is not None and bool(np.any(np.diff(offsets) == 0)):
+                offsets = None
+            selector.partition_offsets = offsets
+        result = selector.select(dataset, context.budget, **kwargs)
         self.last_result = result
         relax = getattr(result, "relax", None)
         # Only materialize warm-start state when it will be read: to_numpy on

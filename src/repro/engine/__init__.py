@@ -11,12 +11,28 @@ warm starts — and threads it to strategies through the lifecycle protocol of
 session and reproduces its historical results bit-identically on the NumPy
 backend.
 
-This is also the architectural seam future scaling work plugs into: a
-sharded or streaming pool only has to replace :class:`PointStore`; a serving
-workload holds one long-lived session per model.
+Point storage is **pluggable** behind the :class:`PoolStore` protocol
+(stable global ids, mask membership, host/compute views, ``label()``):
+:class:`DensePointStore` is the monolithic in-memory store (the historical
+``PointStore``, bit-identical and test-pinned),
+:class:`ShardedPointStore` partitions the pool id range into per-rank
+contiguous shards feeding the distributed solvers' shard-aware scatter, and
+:class:`StreamingPointStore` grows the master between rounds
+(``extend()``) for pool-replenishment workloads — none of which require
+strategy or solver changes (``SessionConfig.store`` selects the
+implementation).  A serving workload holds one long-lived session per model.
 """
 
-from repro.engine.pool import PointStore
+from repro.engine.pool import DensePointStore, PointStore, PoolStore
 from repro.engine.session import ActiveSession, SessionConfig
+from repro.engine.stores import ShardedPointStore, StreamingPointStore
 
-__all__ = ["ActiveSession", "SessionConfig", "PointStore"]
+__all__ = [
+    "ActiveSession",
+    "SessionConfig",
+    "PoolStore",
+    "DensePointStore",
+    "PointStore",
+    "ShardedPointStore",
+    "StreamingPointStore",
+]

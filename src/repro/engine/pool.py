@@ -3,9 +3,9 @@
 The legacy driver re-materialized the experiment state every round:
 ``concatenate`` for the growing labeled set, a boolean-mask copy for the
 shrinking pool, and (under non-NumPy backends) a fresh host-to-device
-transfer of the whole pool per selection.  :class:`PointStore` replaces that
-churn with one immutable master array and bookkeeping over **stable global
-point ids**:
+transfer of the whole pool per selection.  The **pool store** layer replaces
+that churn with one master array and bookkeeping over **stable global point
+ids**:
 
 * every point (initially labeled + pool) gets an id ``0..N-1`` once;
 * pool membership is a boolean mask over ids — labeling flips bits, nothing
@@ -16,9 +16,25 @@ point ids**:
   Fisher solvers: per-round pool views become device-side gathers, so under
   the torch backend the pool stays device-resident across rounds.
 
+:class:`PoolStore` is the protocol the session engine programs against —
+stable ids, mask membership, host/compute views, :meth:`~PoolStore.label` —
+with all of the shared bookkeeping implemented once.  Three implementations
+ship with the engine:
+
+* :class:`DensePointStore` (this module; also exported under its historical
+  name ``PointStore``) — one monolithic host master array, the pre-refactor
+  behavior bit-for-bit;
+* :class:`~repro.engine.stores.ShardedPointStore` — the pool id range is
+  partitioned into per-rank contiguous shards with per-shard masks and
+  per-shard compute-master copies, feeding the distributed solvers'
+  shard-aware scatter;
+* :class:`~repro.engine.stores.StreamingPointStore` — the master array is
+  growable: :meth:`~repro.engine.stores.StreamingPointStore.extend` appends
+  replenishment points between rounds under fresh ids.
+
 Host views are materialized on demand (a gather per round — the classifier
-is a host-side model), but the master array is allocated once for the whole
-session.
+is a host-side model), but the master array is allocated once per growth
+epoch of the store (exactly once for the dense store).
 """
 
 from __future__ import annotations
@@ -30,7 +46,7 @@ import numpy as np
 from repro.backend import Array, get_backend
 from repro.utils.validation import require
 
-__all__ = ["PointStore"]
+__all__ = ["PoolStore", "DensePointStore", "PointStore"]
 
 
 def _to_host(a) -> np.ndarray:
@@ -41,8 +57,24 @@ def _to_host(a) -> np.ndarray:
     return get_backend().to_numpy(a)
 
 
-class PointStore:
+class PoolStore:
     """Master point arrays plus pool/labeled membership over stable ids.
+
+    This base class implements the full store contract — subclasses
+    specialize *where* the points live (one dense block, per-rank shards, a
+    growable master), not *what* the session engine can ask of them.  The
+    contract every implementation preserves:
+
+    * **Stable global ids** — a point's id never changes once assigned, no
+      matter how the pool shrinks (labeling) or grows (streaming).
+    * **Mask membership** — :attr:`in_pool` is a boolean mask over ids;
+      :meth:`label` flips bits and appends to the acquisition-ordered
+      labeled id list.
+    * **Host views** — ``*_host`` methods gather host ndarrays for the
+      host-side classifier, in pool order / acquisition order.
+    * **Compute views** — :meth:`compute_features` gathers promoted
+      (compute-dtype, device-resident under torch) features from a cached
+      master copy; promotion is value-exact.
 
     Parameters
     ----------
@@ -54,6 +86,9 @@ class PointStore:
         ``pool_labels`` plays the oracle and is only revealed by
         :meth:`label`.
     """
+
+    #: Store flavor advertised to strategies via ``SessionInfo.store_kind``.
+    kind: str = "dense"
 
     def __init__(self, initial_features, initial_labels, pool_features, pool_labels):
         init_f = _to_host(initial_features)
@@ -76,6 +111,32 @@ class PointStore:
         # Backend-resident promoted master copy (built on demand).
         self._compute_master: Optional[Array] = None
         self._compute_backend = None
+
+    @classmethod
+    def from_problem(cls, problem, **kwargs) -> "PoolStore":
+        """Build a store from an :class:`~repro.active.ActiveLearningProblem`."""
+
+        return cls(
+            problem.initial_features,
+            problem.initial_labels,
+            problem.pool_features,
+            problem.pool_labels,
+            **kwargs,
+        )
+
+    @classmethod
+    def factory(cls, **kwargs):
+        """A ``problem -> store`` callable for ``SessionConfig.store``.
+
+        Binds constructor keywords now, defers array wiring to the session:
+        ``SessionConfig(store=ShardedPointStore.factory(num_shards=4))``.
+        """
+
+        def build(problem) -> "PoolStore":
+            return cls.from_problem(problem, **kwargs)
+
+        build.store_cls = cls
+        return build
 
     # ------------------------------------------------------------------ #
     # sizes / id views
@@ -109,6 +170,16 @@ class PointStore:
     # ------------------------------------------------------------------ #
     # host views (for the host-side classifier and legacy-compatible paths)
     # ------------------------------------------------------------------ #
+    def features_host(self, ids: np.ndarray) -> np.ndarray:
+        """Host features for arbitrary global ``ids`` (gather from the master)."""
+
+        return self.features[np.asarray(ids, dtype=np.int64)]
+
+    def labels_host(self, ids: np.ndarray) -> np.ndarray:
+        """Host labels for arbitrary global ``ids``."""
+
+        return self.labels[np.asarray(ids, dtype=np.int64)]
+
     def pool_features_host(self) -> np.ndarray:
         return self.features[self.pool_ids]
 
@@ -127,7 +198,7 @@ class PointStore:
     def compute_features(self, ids: np.ndarray) -> Array:
         """Promoted (compute-dtype) features for ``ids``, gathered backend-side.
 
-        The master array is promoted/uploaded **once per session** (per
+        The master array is promoted/uploaded **once per growth epoch** (per
         backend); each call is then a device-side gather instead of a fresh
         host conversion of the round's pool — float promotion is value-exact,
         so views carry bit-identical values to promoting the host view.
@@ -138,6 +209,13 @@ class PointStore:
             self._compute_master = backend.ascompute(self.features)
             self._compute_backend = backend
         return self._compute_master[backend.from_host(np.asarray(ids, dtype=np.int64))]
+
+    def _invalidate_compute(self) -> None:
+        """Drop cached derived state after the master array changed shape."""
+
+        self._pool_ids_cache = None
+        self._compute_master = None
+        self._compute_backend = None
 
     # ------------------------------------------------------------------ #
     # labeling
@@ -164,3 +242,20 @@ class PointStore:
         self._labeled_ids.extend(int(g) for g in global_ids)
         self._pool_ids_cache = None
         return global_ids, self.labels[global_ids]
+
+
+class DensePointStore(PoolStore):
+    """The monolithic in-memory store: one dense host master array.
+
+    This is the pre-refactor ``PointStore`` behavior bit-for-bit (the
+    legacy-equivalence suite pins it against the frozen pre-session driver
+    for every strategy); the base class implements everything, this subclass
+    only fixes the ``kind`` tag.
+    """
+
+    kind = "dense"
+
+
+#: Historical name of the dense store, kept as a true alias so existing
+#: imports, isinstance checks and pickles keep working unchanged.
+PointStore = DensePointStore

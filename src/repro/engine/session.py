@@ -4,10 +4,17 @@
 run — the protocol of § IV-A (Figs. 2–3), but with the cross-round redundancy
 of the legacy driver removed:
 
-* points live in a :class:`~repro.engine.pool.PointStore` with stable global
-  ids and mask-based pool membership — no per-round ``concatenate`` /
-  boolean-copy churn, and under the torch backend the promoted pool stays
-  device-resident across rounds;
+* points live in a pluggable :class:`~repro.engine.pool.PoolStore` with
+  stable global ids and mask-based pool membership — no per-round
+  ``concatenate`` / boolean-copy churn, and under the torch backend the
+  promoted pool stays device-resident across rounds.  The default
+  :class:`~repro.engine.pool.DensePointStore` is the historical behavior;
+  ``SessionConfig.store`` swaps in a
+  :class:`~repro.engine.stores.ShardedPointStore` (per-rank id shards
+  feeding the multi-rank scatter) or a
+  :class:`~repro.engine.stores.StreamingPointStore` (pool replenished
+  between rounds via :meth:`ActiveSession.extend_pool`) without touching
+  strategies or solvers;
 * the labeled-Fisher block diagonal ``B(H_o)`` can be maintained
   *incrementally* (newly labeled points add their rank-one class
   contributions instead of the full sum being recomputed every
@@ -47,14 +54,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional, Union
 
 import numpy as np
 
 from repro.active.problem import ActiveLearningProblem
 from repro.active.results import ExperimentResult, RoundRecord
 from repro.baselines.base import LabelObservation, SelectionContext, SessionInfo, ensure_lifecycle
-from repro.engine.pool import PointStore
+from repro.engine.pool import DensePointStore, PoolStore
 from repro.fisher.accumulator import LabeledFisherAccumulator
 from repro.fisher.hessian import block_diagonal_of_sum
 from repro.fisher.operators import FisherDataset
@@ -109,6 +116,27 @@ class SessionConfig:
         ``"simulated"`` (ranks as threads, default) or ``"shared_memory"``
         (ranks as real OS processes); only read when ``parallel_ranks``
         is set.
+    fisher_refresh_every:
+        Bounded staleness for ``incremental_fisher``: rebuild the
+        accumulated ``B(H_o)`` from scratch under the *current* classifier
+        exactly every this-many rounds, so acquisition-time probabilities
+        can drift for at most ``K - 1`` rounds instead of forever.  The
+        refresh round pays one ``O(m c d^2)`` reassembly (which also
+        re-freezes the labeled probabilities); rounds in between stay
+        ``O(b c d^2)``.  ``None`` (default) never refreshes — the original
+        accumulate-only behavior.  Only meaningful with
+        ``incremental_fisher=True``.
+    store:
+        Which :class:`~repro.engine.PoolStore` implementation holds the
+        session's points.  ``None`` (default) builds a
+        :class:`~repro.engine.DensePointStore` — the historical, test-pinned
+        behavior.  Otherwise a factory ``problem -> PoolStore`` (e.g.
+        ``ShardedPointStore.factory(num_shards=4)`` or
+        ``StreamingPointStore.from_problem``) or an already-built store
+        instance matching the problem.  Strategies and solvers are
+        store-agnostic; a sharded store additionally routes the
+        ``parallel_ranks`` scatter along its shard ownership, and a
+        streaming store enables :meth:`ActiveSession.extend_pool`.
     """
 
     incremental_fisher: bool = False
@@ -117,6 +145,8 @@ class SessionConfig:
     resident_pool: bool = False
     parallel_ranks: Optional[int] = None
     parallel_transport: str = "simulated"
+    fisher_refresh_every: Optional[int] = None
+    store: Optional[Union[PoolStore, Callable[[ActiveLearningProblem], PoolStore]]] = None
 
     @classmethod
     def fast(cls) -> "SessionConfig":
@@ -191,12 +221,7 @@ class ActiveSession:
         self.config = config or SessionConfig()
         self.budget_per_round = int(budget_per_round)
         self.planned_rounds = None if num_rounds is None else int(num_rounds)
-        self.store = PointStore(
-            problem.initial_features,
-            problem.initial_labels,
-            problem.pool_features,
-            problem.pool_labels,
-        )
+        self.store = self._build_store(problem, self.config)
         self.strategy = ensure_lifecycle(strategy)
         self.classifier = (
             classifier
@@ -214,6 +239,20 @@ class ActiveSession:
 
         if self.config.parallel_ranks is not None:
             require(self.config.parallel_ranks > 0, "parallel_ranks must be positive")
+        if self.config.fisher_refresh_every is not None:
+            require(
+                self.config.fisher_refresh_every > 0, "fisher_refresh_every must be positive"
+            )
+            require(
+                self.config.incremental_fisher,
+                "fisher_refresh_every only applies with incremental_fisher=True",
+            )
+        num_shards = getattr(self.store, "num_shards", None)
+        if num_shards is not None and self.config.parallel_ranks is not None:
+            require(
+                int(num_shards) == int(self.config.parallel_ranks),
+                "a sharded store must have one shard per parallel rank",
+            )
         self.strategy.begin_session(
             SessionInfo(
                 num_classes=problem.num_classes,
@@ -225,6 +264,8 @@ class ActiveSession:
                 reuse_eta=self.config.reuse_eta,
                 parallel_ranks=self.config.parallel_ranks,
                 parallel_transport=self.config.parallel_transport,
+                store_kind=self.store.kind,
+                num_store_shards=None if num_shards is None else int(num_shards),
             )
         )
         self._fit()
@@ -244,6 +285,29 @@ class ActiveSession:
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _build_store(problem: ActiveLearningProblem, config: SessionConfig) -> PoolStore:
+        """Resolve ``SessionConfig.store`` into a live :class:`PoolStore`."""
+
+        hook = config.store
+        if hook is None:
+            return DensePointStore.from_problem(problem)
+        if isinstance(hook, PoolStore):
+            store = hook
+        else:
+            store = hook(problem)
+            require(
+                isinstance(store, PoolStore),
+                "SessionConfig.store factory must return a PoolStore",
+            )
+        require(store.dimension == problem.dimension, "store dimension must match the problem")
+        require(
+            store.num_initial == problem.initial_size
+            and store.total_points >= problem.initial_size + problem.pool_size,
+            "store must hold the problem's initial and pool points",
+        )
+        return store
+
     def _fit(self) -> None:
         self.classifier.fit(
             self.store.labeled_features_host(), self.store.labeled_labels_host()
@@ -303,6 +367,20 @@ class ActiveSession:
             labeled_block_cache=cache,
         )
 
+    def _refresh_fisher_accumulator(self) -> None:
+        """Bounded-staleness rebuild: re-freeze ``B(H_o)`` under the current classifier.
+
+        Identical in value to what a non-incremental session computes this
+        round — every labeled point's contribution is re-evaluated with
+        fresh probabilities — so the drift clock restarts at zero.
+        """
+
+        assert self._accumulator is not None
+        labeled_features = self.store.labeled_features_host()
+        self._frozen_probs = self.classifier.predict_proba(labeled_features)
+        self._accumulator.reset()
+        self._accumulator.add(labeled_features, reduced_probabilities(self._frozen_probs))
+
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
@@ -328,6 +406,25 @@ class ActiveSession:
         self._initial_recorded = True
         return record
 
+    def extend_pool(self, features, labels) -> np.ndarray:
+        """Replenish the pool between rounds (streaming stores only).
+
+        Appends new unlabeled points to the session's store under fresh
+        stable ids — the pool-refresh round boundary of streaming active
+        learning.  Existing ids never move, so the labeled history, the
+        recorded curve and any per-id strategy state stay valid; FIRAL's
+        RELAX warm start simply falls back to a cold start on the first
+        round whose pool contains ids the previous solve never weighted.
+        Returns the new points' global ids.
+        """
+
+        require(
+            hasattr(self.store, "extend"),
+            f"the session's '{self.store.kind}' store cannot grow; "
+            "configure SessionConfig(store=StreamingPointStore.from_problem)",
+        )
+        return self.store.extend(features, labels)
+
     def step(self) -> RoundRecord:
         """Run one selection round: select, reveal labels, retrain, record."""
 
@@ -338,6 +435,13 @@ class ActiveSession:
         )
 
         setup_start = time.perf_counter()
+        if (
+            cfg.incremental_fisher
+            and cfg.fisher_refresh_every is not None
+            and self.round_index > 0
+            and self.round_index % cfg.fisher_refresh_every == 0
+        ):
+            self._refresh_fisher_accumulator()
         pool_ids = self.store.pool_ids
         pool_features = self.store.pool_features_host()
         pool_probabilities = self.classifier.predict_proba(pool_features)
@@ -356,6 +460,11 @@ class ActiveSession:
             prepared = self._prepare_fisher(
                 pool_ids, pool_features, pool_probabilities, labeled_features, labeled_probabilities
             )
+        shard_offsets = None
+        if hasattr(self.store, "pool_shard_offsets"):
+            # A sharded store publishes the round's ownership boundaries so
+            # multi-rank selection scatters along them.
+            shard_offsets = self.store.pool_shard_offsets()
         context = SelectionContext(
             pool_features=pool_features,
             pool_probabilities=pool_probabilities,
@@ -366,6 +475,7 @@ class ActiveSession:
             pool_ids=pool_ids,
             round_index=self.round_index,
             prepared_fisher=prepared,
+            shard_offsets=shard_offsets,
         )
         setup_seconds = time.perf_counter() - setup_start
 
@@ -387,7 +497,7 @@ class ActiveSession:
             assert self._accumulator is not None and self._frozen_probs is not None
             new_probs = pool_probabilities[selected]
             self._accumulator.add(
-                self.store.features[global_ids], reduced_probabilities(new_probs)
+                self.store.features_host(global_ids), reduced_probabilities(new_probs)
             )
             self._frozen_probs = np.concatenate([self._frozen_probs, new_probs], axis=0)
 

@@ -1,0 +1,217 @@
+"""Sharded and streaming pool stores.
+
+Two :class:`~repro.engine.pool.PoolStore` implementations for the scenario
+classes the dense store cannot express:
+
+* :class:`ShardedPointStore` — the pool's global id range is partitioned
+  into ``num_shards`` **contiguous per-rank shards** (the § III-C layout:
+  "evenly distribut[e] h_i and x_i of n points in X_u across p GPUs").  Pool
+  membership is tracked per shard (each shard's mask is a view into the
+  global mask), compute-dtype master copies are kept **per shard** instead
+  of as one monolithic device allocation, and
+  :meth:`ShardedPointStore.pool_shard_offsets` exposes the current
+  pool-view partition so a ``SessionConfig.parallel_ranks`` session scatters
+  each rank its own shard (see ``partition_pool(offsets=...)``) instead of
+  re-splitting a freshly assembled full pool every round.
+* :class:`StreamingPointStore` — the master array is **growable**:
+  :meth:`StreamingPointStore.extend` appends replenishment points between
+  rounds (the pool-refresh setting of Pinsler et al.'s batch-construction
+  experiments).  New points get fresh ids past the current range; existing
+  ids never move, so cross-round strategy state keyed by id stays valid, and
+  FIRAL's RELAX warm start falls back to a cold start when it meets ids the
+  previous solve never weighted (``FIRALStrategy._warm_start_weights``).
+
+Both preserve the full base-class contract, so strategies and solvers run
+unchanged on top of them; on a fixed pool (no extends) every store selects
+identically to :class:`~repro.engine.pool.DensePointStore` (test-pinned).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.backend import Array, get_backend
+from repro.engine.pool import PoolStore, _to_host
+from repro.parallel.partition import block_partition
+from repro.utils.validation import require
+
+__all__ = ["ShardedPointStore", "StreamingPointStore"]
+
+
+class ShardedPointStore(PoolStore):
+    """Pool store with per-rank contiguous id shards.
+
+    The pool id range ``m0..N-1`` is split into ``num_shards`` contiguous,
+    balanced ranges (via :func:`repro.parallel.partition.block_partition`,
+    the same rule the distributed solvers use).  Shard ownership is an *id*
+    property: it never changes as points are labeled, so a rank sees a
+    consistent subset of ids across every round of a session.
+
+    Parameters
+    ----------
+    initial_features / initial_labels / pool_features / pool_labels:
+        As for :class:`~repro.engine.pool.PoolStore`; the initial labeled
+        block is replicated (owned by no shard), exactly like the labeled
+        set in the distributed solvers.
+    num_shards:
+        Number of pool shards; each must be non-empty at construction.
+    """
+
+    kind = "sharded"
+
+    def __init__(
+        self, initial_features, initial_labels, pool_features, pool_labels, *, num_shards: int
+    ):
+        super().__init__(initial_features, initial_labels, pool_features, pool_labels)
+        require(num_shards > 0, "num_shards must be positive")
+        pool_total = self.total_points - self.num_initial
+        require(
+            pool_total >= num_shards,
+            f"pool of {pool_total} points cannot be split over {num_shards} shards",
+        )
+        self.num_shards = int(num_shards)
+        # Global-id boundaries of the compute regions: the initial labeled
+        # block, then one contiguous pool range per shard.
+        bounds = [0, self.num_initial]
+        for sl in block_partition(pool_total, self.num_shards):
+            bounds.append(self.num_initial + sl.stop)
+        self._region_bounds = np.asarray(bounds, dtype=np.int64)
+        # Per-region promoted masters (built on demand, per backend).
+        self._region_masters: List[Optional[Array]] = [None] * (len(bounds) - 1)
+
+    # ------------------------------------------------------------------ #
+    # shard views
+    # ------------------------------------------------------------------ #
+    def shard_id_range(self, shard: int) -> tuple:
+        """Global id range ``[lo, hi)`` owned by ``shard``."""
+
+        require(0 <= shard < self.num_shards, "shard index out of range")
+        return int(self._region_bounds[shard + 1]), int(self._region_bounds[shard + 2])
+
+    def shard_mask(self, shard: int) -> np.ndarray:
+        """Pool-membership mask of ``shard`` (a live view into the global mask)."""
+
+        lo, hi = self.shard_id_range(shard)
+        return self.in_pool[lo:hi]
+
+    def shard_pool_ids(self, shard: int) -> np.ndarray:
+        """Global ids of ``shard``'s points still in the pool (sorted)."""
+
+        lo, _ = self.shard_id_range(shard)
+        return lo + np.flatnonzero(self.shard_mask(shard)).astype(np.int64)
+
+    def shard_pool_sizes(self) -> np.ndarray:
+        """Current pool count per shard."""
+
+        return np.asarray(
+            [int(self.shard_mask(r).sum()) for r in range(self.num_shards)], dtype=np.int64
+        )
+
+    def pool_shard_offsets(self) -> np.ndarray:
+        """Pool-*view* partition boundaries by owning shard (length ``num_shards + 1``).
+
+        Shard id ranges are ascending and the pool view is sorted by id, so
+        the view is already grouped by owner: rows
+        ``offsets[r] : offsets[r + 1]`` of this round's pool belong to shard
+        ``r``.  This is the partition a ``parallel_ranks`` session hands the
+        distributed solvers (``partition_pool(offsets=...)``) so the scatter
+        follows store ownership instead of re-balancing every round.
+        """
+
+        return np.cumsum(np.concatenate([[0], self.shard_pool_sizes()]), dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # compute views: per-shard masters
+    # ------------------------------------------------------------------ #
+    def _region_master(self, region: int, backend) -> Array:
+        if self._region_masters[region] is None or self._compute_backend is not backend:
+            if self._compute_backend is not backend:
+                self._region_masters = [None] * len(self._region_masters)
+                self._compute_backend = backend
+            lo, hi = int(self._region_bounds[region]), int(self._region_bounds[region + 1])
+            self._region_masters[region] = backend.ascompute(self.features[lo:hi])
+        return self._region_masters[region]
+
+    def shard_compute_features(self, shard: int) -> Array:
+        """Promoted features of ``shard``'s current pool, from its own master."""
+
+        backend = get_backend()
+        lo, _ = self.shard_id_range(shard)
+        local = self.shard_pool_ids(shard) - lo
+        return self._region_master(shard + 1, backend)[backend.from_host(local)]
+
+    def compute_features(self, ids: np.ndarray) -> Array:
+        """Promoted features for ``ids``, gathered from the per-shard masters.
+
+        No monolithic device copy of the whole master is ever made: each id
+        is routed to its owning region (the initial block or one shard), the
+        regions gather locally, and the pieces are concatenated — value-exact
+        relative to a single-master gather.
+        """
+
+        backend = get_backend()
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        require(
+            bool(ids.size == 0 or (ids.min() >= 0 and ids.max() < self.total_points)),
+            "id out of range",
+        )
+        region = np.searchsorted(self._region_bounds[1:-1], ids, side="right")
+        pieces, positions = [], []
+        for r in range(len(self._region_bounds) - 1):
+            sel = np.flatnonzero(region == r)
+            if sel.size == 0:
+                continue
+            local = ids[sel] - int(self._region_bounds[r])
+            pieces.append(self._region_master(r, backend)[backend.from_host(local)])
+            positions.append(sel)
+        if not pieces:
+            return backend.ascompute(self.features[:0])
+        gathered = pieces[0] if len(pieces) == 1 else backend.xp.concatenate(pieces, axis=0)
+        order = np.concatenate(positions)
+        if bool(np.all(order[:-1] < order[1:])):  # already in caller order
+            return gathered
+        return gathered[backend.from_host(np.argsort(order, kind="stable"))]
+
+    def _invalidate_compute(self) -> None:
+        super()._invalidate_compute()
+        self._region_masters = [None] * len(self._region_masters)
+
+
+class StreamingPointStore(PoolStore):
+    """Pool store whose master array grows between rounds.
+
+    :meth:`extend` appends replenishment points under fresh global ids.  The
+    promoted compute master and the pool-id cache are invalidated on growth
+    (the next compute view re-promotes the grown master once); ids assigned
+    before an extend never change, so selections, labeled history and any
+    per-id strategy state remain valid across replenishment.
+    """
+
+    kind = "streaming"
+
+    def extend(self, features, labels) -> np.ndarray:
+        """Append new unlabeled points to the pool; return their global ids.
+
+        ``labels`` join the hidden oracle side of the store — they are only
+        revealed when :meth:`~repro.engine.pool.PoolStore.label` selects the
+        points.
+        """
+
+        new_f = _to_host(features)
+        new_y = np.asarray(_to_host(labels), dtype=np.int64).ravel()
+        require(new_f.ndim == 2, "features must be 2-D")
+        require(new_f.shape[0] > 0, "extend requires at least one point")
+        require(int(new_f.shape[1]) == self.dimension, "feature dimensions must match")
+        require(int(new_f.shape[0]) == int(new_y.shape[0]), "features and labels must align")
+
+        old_total = self.total_points
+        self.features = np.concatenate([self.features, new_f], axis=0)
+        self.labels = np.concatenate([self.labels, new_y], axis=0)
+        self.total_points = int(self.features.shape[0])
+        self.in_pool = np.concatenate(
+            [self.in_pool, np.ones(int(new_f.shape[0]), dtype=bool)]
+        )
+        self._invalidate_compute()
+        return np.arange(old_total, self.total_points, dtype=np.int64)

@@ -39,7 +39,12 @@ from repro.parallel.comm import (
 from repro.parallel.launcher import RankFailedError, TRANSPORTS, run_spmd
 from repro.parallel.partition import block_partition, partition_indices, partition_pool, pool_offsets
 from repro.parallel.distributed_relax import distributed_relax, relax_rank_main
-from repro.parallel.distributed_round import distributed_round, round_rank_main
+from repro.parallel.distributed_round import (
+    distributed_round,
+    distributed_round_search,
+    round_rank_main,
+    round_search_rank_main,
+)
 from repro.parallel.firal import DistributedApproxFIRAL
 from repro.parallel.cluster import SimulatedCluster, ScalingMeasurement
 
@@ -62,7 +67,9 @@ __all__ = [
     "distributed_relax",
     "relax_rank_main",
     "distributed_round",
+    "distributed_round_search",
     "round_rank_main",
+    "round_search_rank_main",
     "SimulatedCluster",
     "ScalingMeasurement",
 ]

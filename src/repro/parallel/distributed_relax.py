@@ -305,8 +305,13 @@ def distributed_relax(
     transport: str = "simulated",
     initial_weights: Optional[Array] = None,
     timeout: float = 120.0,
+    offsets: Optional[np.ndarray] = None,
 ) -> DistributedRelaxResult:
     """Run Algorithm 2 over ``num_ranks`` ranks of the chosen transport.
+
+    ``offsets`` overrides the balanced pool split with explicit shard
+    boundaries (a sharded pool store's ownership table); see
+    :func:`repro.parallel.partition.partition_pool`.
 
     Numerically equivalent (up to reduction order) to
     :func:`repro.core.approx_relax.approx_relax` with the same configuration,
@@ -327,7 +332,7 @@ def distributed_relax(
     )
     backend = get_backend()
 
-    shards = partition_pool(dataset, num_ranks)
+    shards = partition_pool(dataset, num_ranks, offsets=offsets)
     z0 = initial_simplex_iterate(dataset.num_pool, initial_weights)
     cache_blocks = (
         dataset.labeled_block_cache.blocks if dataset.labeled_block_cache is not None else None

@@ -19,14 +19,19 @@ The ``relax_config`` is therefore normalized to ``track_objective="none"``;
 a serial :class:`ApproxFIRAL` with that same configuration selects
 identically on the NumPy backend, which the engine test suite pins.
 
-Cost note on the η grid search: each grid trial is a full ``distributed_round``
-launch, so under ``transport="shared_memory"`` every trial re-spawns the rank
-processes and re-ships the shards (~1 s per rank of interpreter start-up per
-trial, plus the η-independent ``Sigma_*`` setup the serial path hoists once
-via ``RoundPrecompute``).  Prefer a fixed ``round_config.eta`` or the session
-engine's ``reuse_eta`` (one trial per round after the first) with the real
-transport; running the whole grid *inside* one rank launch is the planned
-follow-up (see the ROADMAP multiprocess item).
+The § IV-A η grid search runs **in-rank**: one ``run_spmd`` launch executes
+the whole grid plus the min-eigenvalue scoring
+(:func:`repro.parallel.distributed_round.distributed_round_search`), so the
+spawn cost and the η-independent ``Sigma_*`` setup are amortized over the
+grid exactly the way the serial path hoists them once via
+``RoundPrecompute`` — under ``transport="shared_memory"`` this is one
+process spawn per round instead of one per grid trial.
+
+When the driving session stores its pool in a
+:class:`~repro.engine.ShardedPointStore`, the per-round shard boundaries are
+threaded in through :attr:`DistributedApproxFIRAL.partition_offsets`
+(``SelectionContext.shard_offsets`` → ``FIRALStrategy``), so every scatter
+follows the store's per-rank ownership instead of re-balancing the pool.
 """
 
 from __future__ import annotations
@@ -34,13 +39,14 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Optional
 
+import numpy as np
+
 from repro.backend import Array
 from repro.core.config import RelaxConfig, RoundConfig
-from repro.core.eta_selection import select_eta
 from repro.core.firal import _FIRALBase
 from repro.fisher.operators import FisherDataset
 from repro.parallel.distributed_relax import distributed_relax
-from repro.parallel.distributed_round import distributed_round
+from repro.parallel.distributed_round import distributed_round, distributed_round_search
 from repro.parallel.launcher import TRANSPORTS
 from repro.utils.validation import require
 
@@ -87,6 +93,11 @@ class DistributedApproxFIRAL(_FIRALBase):
         self.num_ranks = int(num_ranks)
         self.transport = transport
         self.timeout = float(timeout)
+        #: Explicit per-rank pool boundaries for the next ``select`` call
+        #: (set per round by ``FIRALStrategy`` from
+        #: ``SelectionContext.shard_offsets``); ``None`` means the balanced
+        #: default split.
+        self.partition_offsets: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # _FIRALBase hooks
@@ -100,6 +111,7 @@ class DistributedApproxFIRAL(_FIRALBase):
             transport=self.transport,
             initial_weights=initial_weights,
             timeout=self.timeout,
+            offsets=self.partition_offsets,
         )
 
     def _round_solver_call(self, dataset, z_relaxed, budget, eta, config):
@@ -114,17 +126,21 @@ class DistributedApproxFIRAL(_FIRALBase):
             config=config,
             transport=self.transport,
             timeout=self.timeout,
+            offsets=self.partition_offsets,
         )
 
     def _round(self, dataset: FisherDataset, weights: Array, budget: int, eta: float):
         return self._round_solver_call(dataset, weights, budget, eta, self.round_config)
 
     def _round_search(self, dataset: FisherDataset, weights: Array, budget: int):
-        return select_eta(
-            self._round_solver_call,
+        return distributed_round_search(
             dataset,
             weights,
             budget,
             eta_grid=self.round_config.eta_grid,
+            num_ranks=self.num_ranks,
             config=self.round_config,
+            transport=self.transport,
+            timeout=self.timeout,
+            offsets=self.partition_offsets,
         )

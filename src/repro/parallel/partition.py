@@ -20,7 +20,13 @@ import numpy as np  # host-side index bookkeeping only
 from repro.fisher.operators import FisherDataset
 from repro.utils.validation import require
 
-__all__ = ["block_partition", "partition_indices", "partition_pool", "pool_offsets"]
+__all__ = [
+    "block_partition",
+    "check_pool_offsets",
+    "partition_indices",
+    "partition_pool",
+    "pool_offsets",
+]
 
 
 def block_partition(total: int, num_parts: int) -> List[slice]:
@@ -50,20 +56,49 @@ def partition_indices(total: int, num_parts: int) -> List[np.ndarray]:
     return [np.arange(s.start, s.stop, dtype=np.int64) for s in block_partition(total, num_parts)]
 
 
-def pool_offsets(total: int, num_ranks: int) -> np.ndarray:
+def pool_offsets(total: int, num_ranks: int, offsets: np.ndarray = None) -> np.ndarray:
     """Global start offset of every rank's pool shard (length ``num_ranks + 1``).
 
     ``offsets[r] : offsets[r + 1]`` is rank ``r``'s contiguous slice of the
     global pool; every rank of an SPMD solver holds the full offset table so
     it can translate an ``argmax_allreduce`` winner's (owner, local index)
-    pair into a global pool index.
+    pair into a global pool index.  When an explicit ``offsets`` table is
+    given (a sharded pool store's ownership boundaries), it is validated and
+    returned in place of the balanced default.
     """
 
+    if offsets is not None:
+        return check_pool_offsets(offsets, total, num_ranks)
     sizes = [sl.stop - sl.start for sl in block_partition(total, num_ranks)]
     return np.cumsum([0] + sizes, dtype=np.int64)
 
 
-def partition_pool(dataset: FisherDataset, num_ranks: int) -> List[FisherDataset]:
+def check_pool_offsets(offsets, total: int, num_ranks: int) -> np.ndarray:
+    """Validate an explicit shard-boundary table for a pool of ``total`` points.
+
+    The table must cover the pool exactly (``offsets[0] == 0``,
+    ``offsets[-1] == total``) with one non-empty slice per rank (strictly
+    increasing entries) — the distributed solvers score every shard locally
+    before the global argmax, so a rank cannot own zero candidates.
+    """
+
+    offsets = np.asarray(offsets, dtype=np.int64).ravel()
+    require(
+        offsets.shape[0] == num_ranks + 1,
+        f"offsets must have num_ranks + 1 = {num_ranks + 1} entries, got {offsets.shape[0]}",
+    )
+    require(int(offsets[0]) == 0, "offsets must start at 0")
+    require(int(offsets[-1]) == total, f"offsets must end at the pool size {total}")
+    require(
+        bool(np.all(np.diff(offsets) > 0)),
+        "every rank's shard must be non-empty (offsets strictly increasing)",
+    )
+    return offsets
+
+
+def partition_pool(
+    dataset: FisherDataset, num_ranks: int, *, offsets: np.ndarray = None
+) -> List[FisherDataset]:
     """Split the pool of a :class:`FisherDataset` across ranks.
 
     Every shard keeps the full labeled set (replication) and a contiguous
@@ -74,6 +109,12 @@ def partition_pool(dataset: FisherDataset, num_ranks: int) -> List[FisherDataset
     labeled set is replicated, so the cached ``B(H_o)`` is too, and the
     distributed solvers stay bit-identical to a serial solve that used the
     same cache.
+
+    ``offsets`` overrides the balanced default split with explicit shard
+    boundaries — the shard-aware scatter of a
+    :class:`~repro.engine.ShardedPointStore` session, whose pool view is
+    grouped by owning shard and must be split along ownership lines rather
+    than re-balanced.
     """
 
     require(num_ranks > 0, "num_ranks must be positive")
@@ -81,8 +122,13 @@ def partition_pool(dataset: FisherDataset, num_ranks: int) -> List[FisherDataset
         dataset.num_pool >= num_ranks,
         f"pool of {dataset.num_pool} points cannot be split over {num_ranks} ranks",
     )
+    if offsets is not None:
+        offsets = check_pool_offsets(offsets, dataset.num_pool, num_ranks)
+        slices = [slice(int(offsets[r]), int(offsets[r + 1])) for r in range(num_ranks)]
+    else:
+        slices = block_partition(dataset.num_pool, num_ranks)
     shards = []
-    for sl in block_partition(dataset.num_pool, num_ranks):
+    for sl in slices:
         shards.append(
             FisherDataset(
                 pool_features=dataset.pool_features[sl],

@@ -5,7 +5,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.parallel.partition import block_partition, partition_indices, partition_pool
+from repro.parallel.partition import (
+    block_partition,
+    check_pool_offsets,
+    partition_indices,
+    partition_pool,
+    pool_offsets,
+)
 from tests.conftest import make_fisher_dataset
 
 
@@ -61,6 +67,32 @@ class TestPartitionPool:
         dataset = make_fisher_dataset(seed=2, num_pool=5)
         with pytest.raises(ValueError):
             partition_pool(dataset, 6)
+
+
+class TestExplicitOffsets:
+    """Shard-aware scatter: a sharded store's ownership table overrides the
+    balanced default split."""
+
+    def test_partition_follows_explicit_boundaries(self):
+        dataset = make_fisher_dataset(seed=3, num_pool=10)
+        offsets = np.array([0, 7, 10])
+        shards = partition_pool(dataset, 2, offsets=offsets)
+        assert [s.num_pool for s in shards] == [7, 3]
+        np.testing.assert_array_equal(shards[0].pool_features, dataset.pool_features[:7])
+        np.testing.assert_array_equal(shards[1].pool_features, dataset.pool_features[7:])
+
+    def test_pool_offsets_passthrough_and_default(self):
+        np.testing.assert_array_equal(pool_offsets(10, 2), [0, 5, 10])
+        np.testing.assert_array_equal(pool_offsets(10, 2, np.array([0, 3, 10])), [0, 3, 10])
+
+    def test_invalid_offsets_rejected(self):
+        for bad in ([1, 5, 10], [0, 5, 9], [0, 5, 5, 10], [0, 6, 4, 10]):
+            with pytest.raises(ValueError):
+                check_pool_offsets(np.asarray(bad), 10, len(bad) - 1)
+
+    def test_wrong_rank_count_rejected(self):
+        with pytest.raises(ValueError):
+            check_pool_offsets(np.array([0, 5, 10]), 10, 3)
 
 
 @settings(max_examples=30, deadline=None)
