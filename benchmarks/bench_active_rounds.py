@@ -31,6 +31,11 @@ rounds via ``ActiveSession.extend_pool`` — the pool-replenishment scenario),
 or ``sharded`` (a ``ShardedPointStore`` with 2-rank multi-rank selection
 scattered along shard ownership).
 
+``--prefilter {none,random,diversity,topk}`` + ``--prefilter-keep`` put a
+candidate prefilter (``SessionConfig.prefilter``) in front of every round's
+selection, so the exact solvers score only ``keep · n`` candidates — the
+measured keep-ratio frontier lives in ``bench_prefilter.py``.
+
 Run as a script:
 
     PYTHONPATH=src python benchmarks/bench_active_rounds.py --mode legacy  --label before
@@ -59,6 +64,7 @@ from repro.baselines.base import FIRALStrategy
 from repro.core.config import RelaxConfig, RoundConfig
 from repro.core.firal import ApproxFIRAL
 from repro.datasets.registry import build_problem
+from repro.engine.prefilter import PREFILTER_KINDS, make_prefilter
 from repro.engine.session import ActiveSession, SessionConfig
 from repro.engine.stores import ShardedPointStore, StreamingPointStore
 from repro.fisher.accumulator import LabeledFisherAccumulator
@@ -180,11 +186,22 @@ def _streaming_split(problem: ActiveLearningProblem, rounds: int):
     return reduced, chunks
 
 
-def run(shape: dict, mode: str, *, store: str = "dense", seed: int = 0) -> dict:
+def run(
+    shape: dict,
+    mode: str,
+    *,
+    store: str = "dense",
+    seed: int = 0,
+    prefilter: str = "none",
+    prefilter_keep: float = 0.25,
+) -> dict:
     problem = build_problem(shape["dataset"], scale=shape["scale"], seed=seed)
     config = SessionConfig.fast() if mode == "session" else SessionConfig()
     chunks = None
     extra = {}
+    config.prefilter = make_prefilter(prefilter, prefilter_keep)
+    if config.prefilter is not None:
+        extra["prefilter"] = {"kind": prefilter, "keep_ratio": prefilter_keep}
     if store == "streaming":
         problem, chunks = _streaming_split(problem, shape["rounds"])
         config.store = StreamingPointStore.from_problem
@@ -261,10 +278,29 @@ def main() -> None:
         help="pool store backing the session (streaming replenishes between rounds; "
         "sharded scatters 2-rank selection along shard ownership)",
     )
+    parser.add_argument(
+        "--prefilter",
+        choices=("none",) + PREFILTER_KINDS,
+        default="none",
+        help="candidate prefilter evaluated before each round's selection "
+        "(see benchmarks/bench_prefilter.py for the measured frontier)",
+    )
+    parser.add_argument(
+        "--prefilter-keep",
+        type=float,
+        default=0.25,
+        help="fraction of the pool kept as candidates when --prefilter is set",
+    )
     args = parser.parse_args()
 
     shape = TINY_SHAPE if args.tiny else REFERENCE_SHAPE
-    payload = run(shape, args.mode, store=args.store)
+    payload = run(
+        shape,
+        args.mode,
+        store=args.store,
+        prefilter=args.prefilter,
+        prefilter_keep=args.prefilter_keep,
+    )
     name = "active_rounds"
     if args.tiny:
         name += "_tiny"

@@ -1,0 +1,199 @@
+"""Accuracy-vs-speed frontier of the candidate prefilter stage.
+
+The ISSUE-6 acceptance benchmark.  Exact FIRAL scores every pool point in
+RELAX and every ROUND solve of the § IV-A η grid — O(n) per step.  A
+``SessionConfig.prefilter`` (``repro.engine.prefilter``) restricts each
+round to ``keep · n`` candidates, so per-round selection cost should fall by
+roughly ``1/keep`` while the selected batches (and thus the accuracy curve)
+drift from exact.  This benchmark *measures* that trade instead of assuming
+it:
+
+* one **exact** (unfiltered) session on a large-``n`` active-rounds shape —
+  the reference benchmark protocol of ``bench_active_rounds.py`` scaled up
+  by pool size, where the prefilter's target cost actually dominates;
+* a sweep of **filter kind × keep ratio** sessions (same seed, same
+  strategy), each recording per-round wall clock, selection seconds and the
+  evaluation-accuracy curve;
+* the same sweep at the ``bench_active_rounds.py`` **reference shape**, for
+  continuity with the existing BENCH series;
+* a keep-everything **identity check** (ratio 1.0 must select bit-identical
+  global ids to the unfiltered session — the contract the engine tests pin).
+
+The committed ``BENCH_prefilter_frontier.json`` carries, per configuration,
+the mean per-round selection speedup over exact and the final-round accuracy
+delta, plus a ``headline`` block naming the fastest configuration whose
+final accuracy stays within one point of exact.
+
+Run as a script:
+
+    PYTHONPATH=src python benchmarks/bench_prefilter.py            # full frontier
+    PYTHONPATH=src python benchmarks/bench_prefilter.py --tiny     # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.engine.prefilter import PREFILTER_KINDS, make_prefilter
+from repro.engine.session import ActiveSession, SessionConfig
+
+from _utils import bench_payload, write_bench_json
+from bench_active_rounds import REFERENCE_SHAPE, make_strategy
+from repro.datasets.registry import build_problem
+
+#: The large-n frontier shape: the reference active-rounds protocol with the
+#: pool scaled 8x (same d, c, budget, rounds), so per-round selection is
+#: firmly pool-size-bound — the regime the prefilter targets.
+FRONTIER_SHAPE = {"dataset": "cifar10", "scale": 2.0, "rounds": 10, "budget": 10}
+TINY_SHAPE = {"dataset": "cifar10", "scale": 0.05, "rounds": 3, "budget": 5}
+
+KEEP_RATIOS = (0.1, 0.25, 0.5)
+
+
+def run_session(shape: dict, prefilter, *, seed: int = 0) -> dict:
+    """One active-rounds session; returns its per-round series and selections."""
+
+    problem = build_problem(shape["dataset"], scale=shape["scale"], seed=seed)
+    session = ActiveSession(
+        problem,
+        make_strategy(),
+        budget_per_round=shape["budget"],
+        num_rounds=shape["rounds"],
+        seed=seed,
+        config=SessionConfig(prefilter=prefilter),
+    )
+    start = time.perf_counter()
+    session.run(record_initial=False)
+    wall = time.perf_counter() - start
+    records = session.result.records
+    selection = [r.selection_seconds for r in records]
+    return {
+        "pool_size": problem.pool_size,
+        "wall_clock_seconds": wall,
+        "mean_round_seconds": wall / shape["rounds"],
+        "selection_seconds": selection,
+        "mean_selection_seconds": sum(selection) / len(selection),
+        "mean_setup_seconds": sum(r.setup_seconds for r in records) / len(records),
+        "eval_accuracy": [r.eval_accuracy for r in records],
+        "final_eval_accuracy": records[-1].eval_accuracy,
+        "selected_global_ids": [int(g) for g in session.store.labeled_ids[problem.initial_size:]],
+    }
+
+
+def sweep(shape: dict, keep_ratios, *, seed: int = 0) -> dict:
+    """Exact run + (kind × keep) sweep on one shape, with derived deltas."""
+
+    exact = run_session(shape, None, seed=seed)
+    frontier = []
+    for kind in PREFILTER_KINDS:
+        for keep in keep_ratios:
+            entry = run_session(shape, make_prefilter(kind, keep), seed=seed)
+            frontier.append(
+                {
+                    "filter": kind,
+                    "keep_ratio": keep,
+                    "mean_round_seconds": entry["mean_round_seconds"],
+                    "mean_selection_seconds": entry["mean_selection_seconds"],
+                    "mean_setup_seconds": entry["mean_setup_seconds"],
+                    "selection_speedup_vs_exact": exact["mean_selection_seconds"]
+                    / max(entry["mean_selection_seconds"], 1e-12),
+                    "round_speedup_vs_exact": exact["mean_round_seconds"]
+                    / max(entry["mean_round_seconds"], 1e-12),
+                    "eval_accuracy": entry["eval_accuracy"],
+                    "final_eval_accuracy": entry["final_eval_accuracy"],
+                    "final_accuracy_delta_vs_exact": entry["final_eval_accuracy"]
+                    - exact["final_eval_accuracy"],
+                }
+            )
+    # Fastest configuration still within one accuracy point of exact.
+    admissible = [f for f in frontier if abs(f["final_accuracy_delta_vs_exact"]) <= 0.01]
+    headline = (
+        max(admissible, key=lambda f: f["selection_speedup_vs_exact"]) if admissible else None
+    )
+    return {
+        "shape": shape,
+        "exact": exact,
+        "frontier": frontier,
+        "headline": None
+        if headline is None
+        else {
+            "filter": headline["filter"],
+            "keep_ratio": headline["keep_ratio"],
+            "selection_speedup_vs_exact": headline["selection_speedup_vs_exact"],
+            "round_speedup_vs_exact": headline["round_speedup_vs_exact"],
+            "final_accuracy_delta_vs_exact": headline["final_accuracy_delta_vs_exact"],
+        },
+    }
+
+
+def identity_check(shape: dict, *, seed: int = 0) -> dict:
+    """Keep-everything (ratio 1.0) must select bit-identical global ids."""
+
+    exact = run_session(shape, None, seed=seed)
+    out = {}
+    for kind in PREFILTER_KINDS:
+        filtered = run_session(shape, make_prefilter(kind, 1.0), seed=seed)
+        out[kind] = bool(filtered["selected_global_ids"] == exact["selected_global_ids"])
+    return out
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--tiny", action="store_true", help="CI-smoke shape (seconds, not minutes)")
+    parser.add_argument("--label", default=None, help="suffix for the BENCH json filename")
+    args = parser.parse_args()
+
+    frontier_shape = TINY_SHAPE if args.tiny else FRONTIER_SHAPE
+    keep_ratios = (0.5,) if args.tiny else KEEP_RATIOS
+
+    start = time.perf_counter()
+    large = sweep(frontier_shape, keep_ratios)
+    # Continuity series at the established reference shape (skipped under
+    # --tiny: the tiny frontier shape already is seconds-scale).
+    reference = None if args.tiny else sweep(REFERENCE_SHAPE, keep_ratios)
+    # Identity is shape-independent (and engine-test-pinned); check it on the
+    # tiny shape so it costs seconds, not three more exact-scale runs.
+    identity = identity_check(TINY_SHAPE)
+    total = time.perf_counter() - start
+
+    payload = bench_payload(
+        "prefilter_frontier",
+        wall_clock_seconds=total,
+        keep_ratios=list(keep_ratios),
+        frontier=large,
+        reference=reference,
+        keep_everything_identity=identity,
+    )
+    name = "prefilter_frontier"
+    if args.tiny:
+        name += "_tiny"
+    if args.label:
+        name += f"_{args.label}"
+    path = write_bench_json(name, payload)
+    print(f"wrote {path}")
+    exact = large["exact"]
+    print(
+        f"exact: pool={exact['pool_size']}, "
+        f"{exact['mean_selection_seconds']:.3f}s selection/round, "
+        f"final acc {exact['final_eval_accuracy']:.4f}"
+    )
+    for f in large["frontier"]:
+        print(
+            f"{f['filter']:>9} keep={f['keep_ratio']:.2f}: "
+            f"{f['mean_selection_seconds']:.3f}s/round "
+            f"({f['selection_speedup_vs_exact']:.2f}x), "
+            f"final acc delta {f['final_accuracy_delta_vs_exact']:+.4f}"
+        )
+    if large["headline"] is not None:
+        h = large["headline"]
+        print(
+            f"headline: {h['filter']} keep={h['keep_ratio']} -> "
+            f"{h['selection_speedup_vs_exact']:.2f}x selection speedup, "
+            f"acc delta {h['final_accuracy_delta_vs_exact']:+.4f}"
+        )
+    print(f"keep-everything identity: {identity}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Candidate prefiltering: score a fraction of the pool, keep the accuracy.
+
+Every exact FIRAL round is O(pool size) in both RELAX and the fused ROUND
+scoring.  A ``SessionConfig.prefilter`` restricts each round to a candidate
+subset *before* the exact solvers run — this example runs the same
+active-learning session exact and under each of the three shipped filters
+(random subsample, k-means diversity quotas, cheap-score top-k) and prints
+the per-round selection time and accuracy side by side.
+
+Two contracts worth seeing in the output:
+
+* keep-everything settings (``keep_ratio=1.0``) select **bit-identical**
+  points to the unfiltered session — the filter stage is free to leave on;
+* at ``keep_ratio < 1`` the trade is measured, not assumed — the committed
+  frontier lives in ``benchmarks/results/BENCH_prefilter_frontier.json``.
+
+Run with::
+
+    python examples/prefiltered_session.py
+"""
+
+from __future__ import annotations
+
+from repro import ApproxFIRAL, RelaxConfig, RoundConfig, build_problem
+from repro.baselines import FIRALStrategy
+from repro.engine import (
+    ActiveSession,
+    DiversityFilter,
+    RandomSubsampleFilter,
+    SessionConfig,
+    TopKScoreFilter,
+)
+
+ROUNDS = 4
+BUDGET = 10
+KEEP = 0.3
+
+
+def strategy():
+    return FIRALStrategy(
+        ApproxFIRAL(
+            RelaxConfig(max_iterations=15, track_objective="none", seed=0),
+            RoundConfig(eta=1.0),
+        )
+    )
+
+
+def run(problem, prefilter):
+    session = ActiveSession(
+        problem,
+        strategy(),
+        budget_per_round=BUDGET,
+        num_rounds=ROUNDS,
+        seed=0,
+        config=SessionConfig(prefilter=prefilter),
+    )
+    result = session.run(record_initial=False)
+    selection = sum(r.selection_seconds for r in result.records) / ROUNDS
+    final = result.records[-1].eval_accuracy
+    ids = session.store.labeled_ids[problem.initial_size :]
+    return selection, final, ids
+
+
+def main() -> None:
+    problem = build_problem("cifar10", scale=0.5, seed=1)
+    print(f"problem: {problem.summary()}")
+    print(f"rounds={ROUNDS}, budget={BUDGET}, keep_ratio={KEEP}\n")
+
+    exact_selection, exact_final, exact_ids = run(problem, None)
+    print(f"{'configuration':>24}  {'sel s/round':>11}  {'speedup':>7}  {'final acc':>9}")
+    print(f"{'exact (no prefilter)':>24}  {exact_selection:11.3f}  {'1.00x':>7}  {exact_final:9.4f}")
+
+    filters = [
+        ("random", RandomSubsampleFilter(KEEP)),
+        ("diversity", DiversityFilter(KEEP)),
+        ("topk", TopKScoreFilter(KEEP)),
+    ]
+    for name, prefilter in filters:
+        selection, final, _ = run(problem, prefilter)
+        speedup = exact_selection / max(selection, 1e-12)
+        print(
+            f"{name + f' (keep {KEEP})':>24}  {selection:11.3f}  "
+            f"{speedup:6.2f}x  {final:9.4f}  (delta {final - exact_final:+.4f})"
+        )
+
+    # Keep-everything is the identity: bit-identical selections.
+    _, _, identity_ids = run(problem, RandomSubsampleFilter(1.0))
+    assert (identity_ids == exact_ids).all()
+    print("\nkeep_ratio=1.0 selected bit-identical points to the exact session.")
+
+
+if __name__ == "__main__":
+    main()

@@ -86,6 +86,12 @@ class SessionInfo:
         Shard count of a sharded store (``None`` otherwise).  When set
         together with ``parallel_ranks``, each rank's scatter follows the
         store's shard ownership (``SelectionContext.shard_offsets``).
+    prefilter:
+        Kind name of the session's candidate prefilter
+        (:class:`~repro.engine.prefilter.CandidateFilter`), or ``None`` when
+        every round scores the whole pool.  When set, each round's
+        :class:`SelectionContext` carries :attr:`~SelectionContext.candidate_ids`
+        and strategies score only the restricted candidate set.
     """
 
     num_classes: int
@@ -99,6 +105,7 @@ class SessionInfo:
     parallel_transport: str = "simulated"
     store_kind: str = "dense"
     num_store_shards: Optional[int] = None
+    prefilter: Optional[str] = None
 
 
 @dataclass
@@ -162,6 +169,15 @@ class SelectionContext:
         Rows ``shard_offsets[r] : shard_offsets[r + 1]`` of the pool view
         belong to shard ``r``; multi-rank FIRAL selection scatters along
         these boundaries instead of re-balancing the pool every round.
+    candidate_ids:
+        Optional sorted stable ids of this round's **candidate set** — the
+        subset of ``pool_ids`` that survived the session's
+        :class:`~repro.engine.prefilter.CandidateFilter`.  When present,
+        strategies must score only the candidate rows
+        (:meth:`candidate_positions` gives their pool-view positions) and
+        still return *pool-view* indices, mapping candidate-local results
+        back through those positions.  ``None`` means every pool row is a
+        candidate (the exact path).
     """
 
     pool_features: np.ndarray
@@ -174,6 +190,7 @@ class SelectionContext:
     round_index: Optional[int] = None
     prepared_fisher: Optional[FisherDataset] = field(default=None, repr=False)
     shard_offsets: Optional[np.ndarray] = None
+    candidate_ids: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         self.pool_features = check_features(self.pool_features, "pool_features")
@@ -203,16 +220,62 @@ class SelectionContext:
                 and bool(np.all(np.diff(self.shard_offsets) >= 0)),
                 "shard_offsets must partition the pool view",
             )
+        self._candidate_positions: Optional[np.ndarray] = None
+        if self.candidate_ids is not None:
+            require(
+                self.pool_ids is not None,
+                "candidate_ids requires pool_ids (session-engine contexts)",
+            )
+            require(
+                bool(np.all(np.diff(self.pool_ids) > 0)),
+                "candidate_ids requires sorted pool_ids (the position mapping "
+                "uses binary search)",
+            )
+            self.candidate_ids = np.asarray(self.candidate_ids, dtype=np.int64).ravel()
+            require(
+                self.candidate_ids.size >= self.budget,
+                "candidate set is smaller than the budget",
+            )
+            require(
+                self.candidate_ids.size <= self.pool_ids.size,
+                "candidate set is larger than the pool",
+            )
+            require(
+                bool(np.all(np.diff(self.candidate_ids) > 0)),
+                "candidate_ids must be sorted and unique",
+            )
+            positions = np.searchsorted(self.pool_ids, self.candidate_ids)
+            require(
+                bool(np.all(positions < self.pool_ids.size))
+                and bool(np.all(self.pool_ids[positions] == self.candidate_ids)),
+                "candidate_ids must be a subset of pool_ids",
+            )
+            self._candidate_positions = positions
+
+    def candidate_positions(self) -> Optional[np.ndarray]:
+        """Pool-view row positions of the candidate set (``None`` when unfiltered).
+
+        Positions are sorted ascending (candidate ids are sorted and pool ids
+        are kept sorted by the session engine), so for any candidate-local
+        index array ``local``, ``positions[local]`` maps it back to pool-view
+        indices while preserving relative order.
+        """
+
+        return self._candidate_positions
 
     def fisher_dataset(self) -> FisherDataset:
         """Bundle the context into the Fisher container FIRAL consumes.
 
         When the driver threaded in a :attr:`prepared_fisher` (the session
-        engine's resident-pool path), that instance is returned directly.
-        Otherwise the full ``(n, c)`` probability matrices are converted to
-        the paper's reduced ``(n, c-1)`` parameterization (Eq. 1), which
-        removes the softmax null space and keeps ``Sigma_z`` well
-        conditioned.
+        engine's resident-pool path), that instance is returned directly —
+        under a prefiltered session it is already restricted to the candidate
+        rows.  Otherwise the full ``(n, c)`` probability matrices are
+        converted to the paper's reduced ``(n, c-1)`` parameterization
+        (Eq. 1), which removes the softmax null space and keeps ``Sigma_z``
+        well conditioned; when :attr:`candidate_ids` is present, only the
+        candidate rows enter the pool side, so RELAX, the η grid search and
+        ROUND all run on the restricted dataset and their indices are
+        candidate-local.
         """
 
         if self.prepared_fisher is not None:
@@ -220,9 +283,17 @@ class SelectionContext:
 
         from repro.models.softmax import reduced_probabilities
 
+        pool_features = self.pool_features
+        pool_probabilities = self.pool_probabilities
+        if self._candidate_positions is not None:
+            from repro.backend import get_backend
+
+            idx = get_backend().from_host(self._candidate_positions)
+            pool_features = pool_features[idx]
+            pool_probabilities = pool_probabilities[idx]
         return FisherDataset(
-            pool_features=self.pool_features,
-            pool_probabilities=reduced_probabilities(self.pool_probabilities),
+            pool_features=pool_features,
+            pool_probabilities=reduced_probabilities(pool_probabilities),
             labeled_features=self.labeled_features,
             labeled_probabilities=reduced_probabilities(self.labeled_probabilities),
         )
@@ -333,6 +404,15 @@ class FIRALStrategy(SelectionStrategy):
     selector's ``relax_config`` is normalized to ``track_objective="none"``
     (see :mod:`repro.parallel.firal`); Exact-FIRAL has no distributed
     formulation and rejects the request.
+
+    Under a **prefiltered session** (``SessionConfig.prefilter``) the round's
+    :attr:`SelectionContext.candidate_ids` restricts the Fisher dataset to
+    the candidate rows, so RELAX, the η grid search and ROUND all run at
+    candidate scale; the solver's candidate-local selection is mapped back to
+    pool-view indices, shard scatter boundaries are translated to the
+    candidate view, and warm-start state is keyed by candidate ids — a
+    stochastic filter's per-round candidate churn therefore degrades warm
+    starting to a cold start (detected per round, never wrong).
 
     Parameters
     ----------
@@ -451,27 +531,43 @@ class FIRALStrategy(SelectionStrategy):
             )
         return self._distributed_selector
 
-    def _warm_start_weights(self, context: SelectionContext) -> Optional[np.ndarray]:
-        """Previous round's ``z*`` restricted to the surviving pool, or ``None``."""
+    @staticmethod
+    def _scored_ids(context: SelectionContext) -> Optional[np.ndarray]:
+        """Stable ids of the rows the solvers actually score this round.
 
-        if not self._warm_start_active or self._previous is None or context.pool_ids is None:
+        The candidate set when the session prefilters, the whole pool
+        otherwise — the id space the relaxed weights ``z*`` live in.
+        """
+
+        if context.candidate_ids is not None:
+            return context.candidate_ids
+        return context.pool_ids
+
+    def _warm_start_weights(self, context: SelectionContext) -> Optional[np.ndarray]:
+        """Previous round's ``z*`` restricted to the surviving scored rows, or ``None``."""
+
+        scored_ids = self._scored_ids(context)
+        if not self._warm_start_active or self._previous is None or scored_ids is None:
             return None
         prev_ids, prev_weights = self._previous
-        # Pool ids are kept sorted by the session engine; map each surviving
-        # id to its position in the previous round's pool.
-        positions = np.searchsorted(prev_ids, context.pool_ids)
+        # Scored ids are sorted (the session engine keeps pool ids sorted and
+        # prefilters return sorted candidate ids); map each surviving id to
+        # its position in the previous round's scored set.
+        positions = np.searchsorted(prev_ids, scored_ids)
         valid = positions < prev_ids.size
         positions = np.minimum(positions, prev_ids.size - 1)
-        valid &= prev_ids[positions] == context.pool_ids
+        valid &= prev_ids[positions] == scored_ids
         if not bool(np.all(valid)):
-            # Pool gained points the previous solve never weighted (e.g. a
-            # replenished/streaming pool) — fall back to a cold start.
+            # This round scores points the previous solve never weighted — a
+            # replenished/streaming pool, or per-round candidate churn under a
+            # stochastic prefilter — fall back to a cold start.
             return None
         return prev_weights[positions]
 
     # ------------------------------------------------------------------ #
     def select(self, context: SelectionContext) -> np.ndarray:
         dataset = context.fisher_dataset()
+        candidate_positions = context.candidate_positions()
         kwargs = {}
         initial_weights = self._warm_start_weights(context)
         if initial_weights is not None:
@@ -488,23 +584,35 @@ class FIRALStrategy(SelectionStrategy):
             # at least one candidate for the local argmax), so the round
             # falls back to the balanced split until the pool is replenished.
             offsets = context.shard_offsets
+            if offsets is not None and candidate_positions is not None:
+                # The solvers see the candidate view, so the scatter
+                # boundaries must be candidate-local.  Prefilters keep
+                # candidates grouped by owning shard, so each pool-view
+                # boundary maps to the count of candidates before it.
+                offsets = np.searchsorted(candidate_positions, offsets)
             if offsets is not None and bool(np.any(np.diff(offsets) == 0)):
                 offsets = None
             selector.partition_offsets = offsets
         result = selector.select(dataset, context.budget, **kwargs)
         self.last_result = result
         relax = getattr(result, "relax", None)
+        scored_ids = self._scored_ids(context)
         # Only materialize warm-start state when it will be read: to_numpy on
         # the relaxed weights forces a device sync under the torch backend.
-        if self._warm_start_active and context.pool_ids is not None and relax is not None:
+        if self._warm_start_active and scored_ids is not None and relax is not None:
             from repro.backend import get_backend
 
             self._previous = (
-                context.pool_ids.copy(),
+                scored_ids.copy(),
                 np.asarray(get_backend().to_numpy(relax.weights), dtype=np.float64),
             )
         if self._reuse_eta_active:
             round_result = getattr(result, "round", None)
             if round_result is not None and getattr(round_result, "eta", None) is not None:
                 self._previous_eta = float(round_result.eta)
-        return self._validate_selection(result.selected_indices, context)
+        selected = np.asarray(result.selected_indices, dtype=np.int64).ravel()
+        if candidate_positions is not None:
+            # The solvers returned candidate-local indices; map them back to
+            # pool-view positions before validating against the full pool.
+            selected = candidate_positions[selected]
+        return self._validate_selection(selected, context)

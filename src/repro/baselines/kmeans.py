@@ -150,7 +150,13 @@ class KMeansStrategy(SelectionStrategy):
         self.max_iterations = int(max_iterations)
 
     def select(self, context: SelectionContext) -> np.ndarray:
-        X = context.pool_features.astype(np.float64)
+        # Under a prefiltered session, cluster only the candidate rows and map
+        # the representatives back to pool-view indices.
+        positions = context.candidate_positions()
+        X = context.pool_features
+        if positions is not None:
+            X = X[positions]
+        X = X.astype(np.float64)
         result = kmeans(X, context.budget, rng=context.rng, max_iterations=self.max_iterations)
         distances = _pairwise_sq_distances(X, result.centroids)
         selected: list = []
@@ -163,4 +169,7 @@ class KMeansStrategy(SelectionStrategy):
                     selected.append(int(idx))
                     taken[idx] = True
                     break
-        return self._validate_selection(np.asarray(selected), context)
+        selected_arr = np.asarray(selected, dtype=np.int64)
+        if positions is not None:
+            selected_arr = positions[selected_arr]
+        return self._validate_selection(selected_arr, context)

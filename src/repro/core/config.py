@@ -160,7 +160,13 @@ class RoundConfig:
         Chunked scoring selects identical indices — each candidate's score is
         an independent contraction (raw scores may differ by BLAS
         kernel-blocking ULPs).  ``None`` (default) scores the whole pool in
-        one pass.
+        one pass.  Must be a positive integer; fractional values are rejected
+        rather than silently truncated.  Under a prefiltered session
+        (``SessionConfig.prefilter``) the scored set is the *candidate* view,
+        so chunking applies to ``keep_ratio · n`` rows — a chunk size tuned
+        for the full pool simply degrades to fewer (or one) passes on the
+        restricted set, and the two knobs compose: prefiltering bounds
+        per-round work, chunking bounds its peak scratch memory.
     """
 
     eta: Optional[float] = None
@@ -176,6 +182,8 @@ class RoundConfig:
         require(all(e > 0 for e in self.eta_grid), "eta_grid values must be positive")
         require(self.regularization >= 0, "regularization must be non-negative")
         require(
-            self.score_chunk_size is None or self.score_chunk_size > 0,
-            "score_chunk_size must be positive when set",
+            self.score_chunk_size is None
+            or (self.score_chunk_size > 0 and int(self.score_chunk_size) == self.score_chunk_size),
+            "score_chunk_size must be a positive integer when set "
+            "(fractional values would silently truncate in the chunking arithmetic)",
         )

@@ -21,9 +21,23 @@ contiguous shards feeding the distributed solvers' shard-aware scatter, and
 (``extend()``) for pool-replenishment workloads — none of which require
 strategy or solver changes (``SessionConfig.store`` selects the
 implementation).  A serving workload holds one long-lived session per model.
+
+Candidate scoring is likewise pluggable: a
+:class:`CandidateFilter` (``SessionConfig.prefilter``) restricts each
+round's pool view to a candidate subset *before* the exact solvers run —
+random subsampling, k-means diversity quotas, or a cheap-score top-k
+shortlist — cutting the O(n)-per-round RELAX/ROUND cost to the keep ratio
+(see :mod:`repro.engine.prefilter` and ``benchmarks/bench_prefilter.py``).
 """
 
 from repro.engine.pool import DensePointStore, PointStore, PoolStore
+from repro.engine.prefilter import (
+    CandidateFilter,
+    DiversityFilter,
+    RandomSubsampleFilter,
+    TopKScoreFilter,
+    make_prefilter,
+)
 from repro.engine.session import ActiveSession, SessionConfig
 from repro.engine.stores import ShardedPointStore, StreamingPointStore
 
@@ -35,4 +49,9 @@ __all__ = [
     "PointStore",
     "ShardedPointStore",
     "StreamingPointStore",
+    "CandidateFilter",
+    "RandomSubsampleFilter",
+    "DiversityFilter",
+    "TopKScoreFilter",
+    "make_prefilter",
 ]

@@ -62,6 +62,7 @@ from repro.active.problem import ActiveLearningProblem
 from repro.active.results import ExperimentResult, RoundRecord
 from repro.baselines.base import LabelObservation, SelectionContext, SessionInfo, ensure_lifecycle
 from repro.engine.pool import DensePointStore, PoolStore
+from repro.engine.prefilter import CandidateFilter
 from repro.fisher.accumulator import LabeledFisherAccumulator
 from repro.fisher.hessian import block_diagonal_of_sum
 from repro.fisher.operators import FisherDataset
@@ -137,6 +138,19 @@ class SessionConfig:
         store-agnostic; a sharded store additionally routes the
         ``parallel_ranks`` scatter along its shard ownership, and a
         streaming store enables :meth:`ActiveSession.extend_pool`.
+    prefilter:
+        Optional :class:`~repro.engine.prefilter.CandidateFilter` evaluated
+        once per round *before* the strategy: the pool view is restricted to
+        the filter's surviving candidate set
+        (``SelectionContext.candidate_ids``), so FIRAL's RELAX / η grid /
+        ROUND — and the routed baselines — score ``keep_ratio · n`` points
+        instead of ``n``.  The filter's RNG draws come off the session's
+        single stream, first in each round, so runs stay reproducible; with
+        keep-everything settings (``keep_ratio=1.0``) no draws are consumed
+        and the session is bit-identical to an unfiltered one (test-pinned).
+        Any ``keep_ratio < 1`` is an approximation — the frontier is measured
+        in ``benchmarks/bench_prefilter.py``, the ``cg_warm_start``
+        documentation precedent.  ``None`` (default) scores the whole pool.
     """
 
     incremental_fisher: bool = False
@@ -147,6 +161,7 @@ class SessionConfig:
     parallel_transport: str = "simulated"
     fisher_refresh_every: Optional[int] = None
     store: Optional[Union[PoolStore, Callable[[ActiveLearningProblem], PoolStore]]] = None
+    prefilter: Optional[CandidateFilter] = None
 
     @classmethod
     def fast(cls) -> "SessionConfig":
@@ -247,6 +262,12 @@ class ActiveSession:
                 self.config.incremental_fisher,
                 "fisher_refresh_every only applies with incremental_fisher=True",
             )
+        if self.config.prefilter is not None:
+            require(
+                hasattr(self.config.prefilter, "select_candidates"),
+                "SessionConfig.prefilter must implement "
+                "CandidateFilter.select_candidates(context, rng)",
+            )
         num_shards = getattr(self.store, "num_shards", None)
         if num_shards is not None and self.config.parallel_ranks is not None:
             require(
@@ -266,6 +287,11 @@ class ActiveSession:
                 parallel_transport=self.config.parallel_transport,
                 store_kind=self.store.kind,
                 num_store_shards=None if num_shards is None else int(num_shards),
+                prefilter=(
+                    None
+                    if self.config.prefilter is None
+                    else getattr(self.config.prefilter, "name", "prefilter")
+                ),
             )
         )
         self._fit()
@@ -451,20 +477,58 @@ class ActiveSession:
             labeled_probabilities = self._frozen_probs
         else:
             labeled_probabilities = self.classifier.predict_proba(labeled_features)
+        shard_offsets = None
+        if hasattr(self.store, "pool_shard_offsets"):
+            # A sharded store publishes the round's ownership boundaries so
+            # multi-rank selection scatters along them.
+            shard_offsets = self.store.pool_shard_offsets()
+        candidate_ids = None
+        candidate_positions = None
+        if cfg.prefilter is not None:
+            # The prefilter sees the same round view a strategy would; its
+            # RNG draws come first on the session's single stream, before the
+            # strategy's, so runs stay reproducible (keep-everything settings
+            # consume no draws at all — the bit-identity contract).
+            filter_context = SelectionContext(
+                pool_features=pool_features,
+                pool_probabilities=pool_probabilities,
+                labeled_features=labeled_features,
+                labeled_probabilities=labeled_probabilities,
+                budget=self.budget_per_round,
+                rng=self.rng,
+                pool_ids=pool_ids,
+                round_index=self.round_index,
+                shard_offsets=shard_offsets,
+            )
+            candidate_ids = np.asarray(
+                cfg.prefilter.select_candidates(filter_context, self.rng), dtype=np.int64
+            )
+            candidate_positions = np.searchsorted(pool_ids, candidate_ids)
         prepared = None
         # Only pre-assemble Fisher inputs for strategies that will read them —
         # the B(H_o) cache and backend gathers are wasted on Random/Entropy/….
         if (cfg.incremental_fisher or cfg.resident_pool) and getattr(
             self.strategy, "consumes_fisher", False
         ):
-            prepared = self._prepare_fisher(
-                pool_ids, pool_features, pool_probabilities, labeled_features, labeled_probabilities
-            )
-        shard_offsets = None
-        if hasattr(self.store, "pool_shard_offsets"):
-            # A sharded store publishes the round's ownership boundaries so
-            # multi-rank selection scatters along them.
-            shard_offsets = self.store.pool_shard_offsets()
+            if candidate_positions is None:
+                prepared = self._prepare_fisher(
+                    pool_ids,
+                    pool_features,
+                    pool_probabilities,
+                    labeled_features,
+                    labeled_probabilities,
+                )
+            else:
+                # Restrict the Fisher pool side to the candidate rows — the
+                # resident-pool path gathers only candidates from the device
+                # copy, so the whole prepared dataset is candidate-scale.
+                prepared = self._prepare_fisher(
+                    candidate_ids,
+                    pool_features[candidate_positions],
+                    pool_probabilities[candidate_positions],
+                    labeled_features,
+                    labeled_probabilities,
+                )
         context = SelectionContext(
             pool_features=pool_features,
             pool_probabilities=pool_probabilities,
@@ -476,6 +540,7 @@ class ActiveSession:
             round_index=self.round_index,
             prepared_fisher=prepared,
             shard_offsets=shard_offsets,
+            candidate_ids=candidate_ids,
         )
         setup_seconds = time.perf_counter() - setup_start
 

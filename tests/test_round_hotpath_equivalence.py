@@ -112,9 +112,18 @@ class TestChunkedRoundSelection:
         )
         np.testing.assert_array_equal(base.selected_indices, chunked.selected_indices)
 
-    def test_invalid_chunk_size_rejected(self):
-        with pytest.raises(ValueError):
-            RoundConfig(score_chunk_size=0)
+    @pytest.mark.parametrize("chunk_size", [0, -1, 0.5, 13.7])
+    def test_invalid_chunk_size_rejected(self, chunk_size):
+        """Non-positive and fractional chunk sizes fail fast instead of
+        silently truncating in the chunking arithmetic."""
+
+        with pytest.raises(ValueError, match="score_chunk_size"):
+            RoundConfig(score_chunk_size=chunk_size)
+
+    def test_integral_float_chunk_size_accepted(self):
+        # 13.0 == 13: integral-valued floats are unambiguous, so they pass.
+        cfg = RoundConfig(score_chunk_size=13.0)
+        assert int(cfg.score_chunk_size) == 13
 
 
 class TestPrecomputeThreading:
