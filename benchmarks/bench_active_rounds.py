@@ -69,6 +69,7 @@ from repro.engine.session import ActiveSession, SessionConfig
 from repro.engine.stores import ShardedPointStore, StreamingPointStore
 from repro.fisher.accumulator import LabeledFisherAccumulator
 from repro.fisher.hessian import block_diagonal_of_sum
+from repro.parallel import FaultPlan
 
 from _utils import bench_payload, random_probabilities, write_bench_json
 
@@ -194,6 +195,7 @@ def run(
     seed: int = 0,
     prefilter: str = "none",
     prefilter_keep: float = 0.25,
+    inject_fault: bool = False,
 ) -> dict:
     problem = build_problem(shape["dataset"], scale=shape["scale"], seed=seed)
     config = SessionConfig.fast() if mode == "session" else SessionConfig()
@@ -213,9 +215,20 @@ def run(
         config.store = ShardedPointStore.factory(num_shards=SHARDED_RANKS)
         config.parallel_ranks = SHARDED_RANKS
         extra["sharded"] = {"num_shards": SHARDED_RANKS, "transport": config.parallel_transport}
+    if inject_fault:
+        # Kill the last rank mid-selection of round 1 and recover by
+        # re-partitioning over the survivors — the measured end-to-end cost
+        # of one rank death (bench_fault_recovery.py isolates the pieces).
+        config.parallel_ranks = config.parallel_ranks or SHARDED_RANKS
+        config.on_rank_failure = "repartition_retry"
+        config.fault_plan = FaultPlan(
+            rank=config.parallel_ranks - 1, at_call=2, mode="kill", collective="allreduce"
+        )
+        extra["fault"] = config.fault_plan.to_dict()
+    strategy = make_strategy()
     session = ActiveSession(
         problem,
-        make_strategy(),
+        strategy,
         budget_per_round=shape["budget"],
         num_rounds=shape["rounds"],
         seed=seed,
@@ -233,6 +246,8 @@ def run(
         round_seconds.append(time.perf_counter() - t0)
     total_seconds = time.perf_counter() - start
 
+    if inject_fault:
+        extra["recovery_events"] = list(getattr(strategy, "recovery_events", []))
     records = session.result.records
     return bench_payload(
         "active_rounds",
@@ -291,6 +306,13 @@ def main() -> None:
         default=0.25,
         help="fraction of the pool kept as candidates when --prefilter is set",
     )
+    parser.add_argument(
+        "--inject-fault",
+        action="store_true",
+        help="kill the last rank mid-selection of round 1 and recover via "
+        "on_rank_failure='repartition_retry' (forces 2-rank selection when "
+        "no parallel store is configured)",
+    )
     args = parser.parse_args()
 
     shape = TINY_SHAPE if args.tiny else REFERENCE_SHAPE
@@ -300,10 +322,13 @@ def main() -> None:
         store=args.store,
         prefilter=args.prefilter,
         prefilter_keep=args.prefilter_keep,
+        inject_fault=args.inject_fault,
     )
     name = "active_rounds"
     if args.tiny:
         name += "_tiny"
+    if args.inject_fault:
+        name += "_faulty"
     name += f"_{args.label}" if args.label else f"_{args.mode}"
     path = write_bench_json(name, payload)
     print(f"wrote {path}")

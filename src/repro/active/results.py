@@ -12,13 +12,13 @@ runs can be checkpointed and plotted offline.
 
 from __future__ import annotations
 
-import json
 import pathlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Sequence
 
 import numpy as np
 
+from repro.utils.io import atomic_write_json, read_json
 from repro.utils.validation import require
 
 __all__ = ["RoundRecord", "ExperimentResult", "AggregateResult"]
@@ -117,15 +117,17 @@ class ExperimentResult:
         )
 
     def save(self, path) -> pathlib.Path:
-        """Write the result as JSON to ``path`` (checkpointing long runs)."""
+        """Write the result as JSON to ``path`` (checkpointing long runs).
 
-        p = pathlib.Path(path)
-        p.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
-        return p
+        The write is atomic (temp file + ``os.replace``), so a crash
+        mid-save cannot leave a truncated checkpoint behind.
+        """
+
+        return atomic_write_json(path, self.to_dict())
 
     @classmethod
     def load(cls, path) -> "ExperimentResult":
-        return cls.from_dict(json.loads(pathlib.Path(path).read_text()))
+        return cls.from_dict(read_json(path, description="experiment result"))
 
     def to_table(self) -> str:
         """Format the curve as an aligned text table (one row per round)."""
@@ -201,15 +203,13 @@ class AggregateResult:
         )
 
     def save(self, path) -> pathlib.Path:
-        """Write the aggregate (all trials) as JSON to ``path``."""
+        """Write the aggregate (all trials) as JSON to ``path``, atomically."""
 
-        p = pathlib.Path(path)
-        p.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
-        return p
+        return atomic_write_json(path, self.to_dict())
 
     @classmethod
     def load(cls, path) -> "AggregateResult":
-        return cls.from_dict(json.loads(pathlib.Path(path).read_text()))
+        return cls.from_dict(read_json(path, description="aggregate result"))
 
     def to_table(self) -> str:
         """Aligned text table of mean ± std accuracy per label count."""

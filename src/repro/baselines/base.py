@@ -92,6 +92,16 @@ class SessionInfo:
         every round scores the whole pool.  When set, each round's
         :class:`SelectionContext` carries :attr:`~SelectionContext.candidate_ids`
         and strategies score only the restricted candidate set.
+    on_rank_failure:
+        Session policy when a multi-rank selection loses a rank
+        (``SessionConfig.on_rank_failure``): ``"abort"`` propagates the
+        failure, ``"repartition_retry"`` asks FIRAL-style strategies to
+        re-partition the pool over fewer ranks and re-run the round.
+        Strategies without a distributed formulation ignore it.
+    fault_plan:
+        Optional :class:`~repro.parallel.faults.FaultPlan` the session
+        injects into every multi-rank launch (chaos testing); ``None`` in
+        production.
     """
 
     num_classes: int
@@ -106,6 +116,8 @@ class SessionInfo:
     store_kind: str = "dense"
     num_store_shards: Optional[int] = None
     prefilter: Optional[str] = None
+    on_rank_failure: str = "abort"
+    fault_plan: Optional[object] = None
 
 
 @dataclass
@@ -330,6 +342,19 @@ class SelectionStrategy(abc.ABC):
     def observe_labels(self, observation: LabelObservation) -> None:
         """Lifecycle hook: the oracle revealed a round's labels (no-op default)."""
 
+    def state_dict(self) -> dict:
+        """JSON-serializable cross-round state for session checkpointing.
+
+        Stateless strategies return ``{}`` (the default); stateful ones
+        return everything :meth:`load_state_dict` needs to resume
+        bit-identically mid-session.
+        """
+
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore cross-round state saved by :meth:`state_dict` (no-op default)."""
+
     def _validate_selection(self, indices: np.ndarray, context: SelectionContext) -> np.ndarray:
         indices = np.asarray(indices, dtype=np.int64).ravel()
         require(indices.size == context.budget, "strategy returned the wrong number of indices")
@@ -432,6 +457,22 @@ class FIRALStrategy(SelectionStrategy):
     parallel_transport:
         Transport used when multi-rank selection is active; ``None``
         (default) defers to the session's ``SessionInfo.parallel_transport``.
+    on_rank_failure:
+        Force the rank-failure policy (``"abort"`` / ``"repartition_retry"``);
+        ``None`` (default) defers to the session's
+        ``SessionInfo.on_rank_failure``.  Under ``"repartition_retry"`` a
+        multi-rank round that loses a rank is re-run over the survivors: the
+        pool is re-partitioned with the balanced split (the same fallback a
+        dried-up shard takes) and the round replays deterministically —
+        FIRAL's selection consumes no session RNG and is rank-count
+        invariant, so the recovered round selects exactly what the failed
+        one would have.  Subsequent rounds stay at the reduced rank count
+        (the dead rank does not come back); each recovery is appended to
+        :attr:`recovery_events`.
+    fault_plan:
+        Force a :class:`~repro.parallel.faults.FaultPlan` into every
+        multi-rank launch; ``None`` (default) defers to the session's
+        ``SessionInfo.fault_plan``.
     """
 
     is_stochastic = False
@@ -445,19 +486,33 @@ class FIRALStrategy(SelectionStrategy):
         reuse_eta: Optional[bool] = None,
         parallel_ranks: Optional[int] = None,
         parallel_transport: Optional[str] = None,
+        on_rank_failure: Optional[str] = None,
+        fault_plan=None,
     ):
         require(hasattr(selector, "select"), "selector must expose a select() method")
+        require(
+            on_rank_failure in (None, "abort", "repartition_retry"),
+            "on_rank_failure must be 'abort' or 'repartition_retry'",
+        )
         self.selector = selector
         self.name = getattr(selector, "name", "firal")
         self.warm_start = warm_start
         self.reuse_eta = reuse_eta
         self.parallel_ranks = parallel_ranks
         self.parallel_transport = parallel_transport
+        self.on_rank_failure = on_rank_failure
+        self.fault_plan = fault_plan
         self.last_result = None
+        #: One dict per recovered rank failure (round-robin diagnostics):
+        #: ``{"error", "failed_rank", "collective", "retry_ranks"}``.
+        self.recovery_events: list = []
         self._session_warm_start = False
         self._session_reuse_eta = False
         self._session_parallel_ranks: Optional[int] = None
         self._session_parallel_transport = "simulated"
+        self._session_on_rank_failure = "abort"
+        self._session_fault_plan = None
+        self._recovered_ranks: Optional[int] = None
         self._distributed_selector = None
         self._previous: Optional[tuple] = None  # (pool_ids, relaxed weights)
         self._previous_eta: Optional[float] = None
@@ -470,10 +525,14 @@ class FIRALStrategy(SelectionStrategy):
         self._session_reuse_eta = bool(info.reuse_eta)
         self._session_parallel_ranks = info.parallel_ranks
         self._session_parallel_transport = info.parallel_transport
+        self._session_on_rank_failure = info.on_rank_failure
+        self._session_fault_plan = info.fault_plan
+        self._recovered_ranks = None
         self._distributed_selector = None
         self._previous = None
         self._previous_eta = None
         self.last_result = None
+        self.recovery_events = []
         if self._parallel_ranks_active is not None:
             # Fail at session start, not round N, if the selector cannot run
             # distributed — and build the distributed selector eagerly so the
@@ -504,31 +563,52 @@ class FIRALStrategy(SelectionStrategy):
             return self.parallel_transport
         return self._session_parallel_transport
 
+    @property
+    def _on_rank_failure_active(self) -> str:
+        if self.on_rank_failure is not None:
+            return self.on_rank_failure
+        return self._session_on_rank_failure
+
+    @property
+    def _fault_plan_active(self):
+        if self.fault_plan is not None:
+            return self.fault_plan
+        return self._session_fault_plan
+
+    def _build_distributed_selector(self, ranks: int):
+        from repro.core.firal import ApproxFIRAL
+        from repro.parallel.firal import DistributedApproxFIRAL
+
+        require(
+            isinstance(self.selector, ApproxFIRAL),
+            "parallel_ranks requires an ApproxFIRAL selector — Exact-FIRAL has no "
+            "distributed formulation (Table II restricts it to small problems)",
+        )
+        return DistributedApproxFIRAL(
+            self.selector.relax_config,
+            self.selector.round_config,
+            num_ranks=int(ranks),
+            transport=self._parallel_transport_active,
+            fault_plan=self._fault_plan_active,
+        )
+
     def _effective_selector(self):
         """The wrapped selector, or its distributed twin when ranks are requested."""
 
         ranks = self._parallel_ranks_active
         if ranks is None:
             return self.selector
+        if self._recovered_ranks is not None:
+            # A previous round lost ranks; the session keeps running degraded
+            # on the survivors rather than resurrecting the dead rank.
+            ranks = self._recovered_ranks
         if (
             self._distributed_selector is None
             or self._distributed_selector.num_ranks != int(ranks)
             or self._distributed_selector.transport != self._parallel_transport_active
+            or self._distributed_selector.fault_plan is not self._fault_plan_active
         ):
-            from repro.core.firal import ApproxFIRAL
-            from repro.parallel.firal import DistributedApproxFIRAL
-
-            require(
-                isinstance(self.selector, ApproxFIRAL),
-                "parallel_ranks requires an ApproxFIRAL selector — Exact-FIRAL has no "
-                "distributed formulation (Table II restricts it to small problems)",
-            )
-            self._distributed_selector = DistributedApproxFIRAL(
-                self.selector.relax_config,
-                self.selector.round_config,
-                num_ranks=int(ranks),
-                transport=self._parallel_transport_active,
-            )
+            self._distributed_selector = self._build_distributed_selector(int(ranks))
         return self._distributed_selector
 
     @staticmethod
@@ -564,6 +644,58 @@ class FIRALStrategy(SelectionStrategy):
             return None
         return prev_weights[positions]
 
+    def _select_with_recovery(self, selector, dataset, context: SelectionContext, kwargs):
+        """Run the solver, re-partitioning over fewer ranks on rank failure.
+
+        Deterministic by construction: FIRAL's selection step consumes no
+        session RNG (RELAX probes come from ``RelaxConfig.seed``) and the
+        distributed solvers are rank-count invariant (pinned by the parallel
+        test suite), so replaying the round on the surviving ranks under the
+        balanced split selects exactly the points the failed launch would
+        have.  Ranks are retired one at a time — a fault plan pinned to a
+        retired rank becomes inert, which is precisely how a real dead node
+        behaves — until the round completes or one rank remains and still
+        fails (then the last error propagates).
+        """
+
+        from repro.parallel.comm import CommError
+
+        try:
+            return selector.select(dataset, context.budget, **kwargs)
+        except CommError as exc:
+            if (
+                self._on_rank_failure_active != "repartition_retry"
+                or not hasattr(selector, "num_ranks")
+            ):
+                raise
+            last_error: CommError = exc
+            ranks = int(selector.num_ranks)
+            while ranks > 1:
+                ranks -= 1
+                recovery = self._build_distributed_selector(ranks)
+                # The failed launch's shard boundaries assumed the old rank
+                # count; the survivors take the balanced re-split (the same
+                # fallback an empty shard takes).
+                recovery.partition_offsets = None
+                try:
+                    result = recovery.select(dataset, context.budget, **kwargs)
+                except CommError as retry_error:
+                    last_error = retry_error
+                    continue
+                self.recovery_events.append(
+                    {
+                        "round_index": context.round_index,
+                        "error": type(last_error).__name__,
+                        "failed_rank": last_error.rank,
+                        "collective": last_error.collective,
+                        "retry_ranks": ranks,
+                    }
+                )
+                self._recovered_ranks = ranks
+                self._distributed_selector = recovery
+                return result
+            raise last_error
+
     # ------------------------------------------------------------------ #
     def select(self, context: SelectionContext) -> np.ndarray:
         dataset = context.fisher_dataset()
@@ -593,7 +725,7 @@ class FIRALStrategy(SelectionStrategy):
             if offsets is not None and bool(np.any(np.diff(offsets) == 0)):
                 offsets = None
             selector.partition_offsets = offsets
-        result = selector.select(dataset, context.budget, **kwargs)
+        result = self._select_with_recovery(selector, dataset, context, kwargs)
         self.last_result = result
         relax = getattr(result, "relax", None)
         scored_ids = self._scored_ids(context)
@@ -616,3 +748,33 @@ class FIRALStrategy(SelectionStrategy):
             # pool-view positions before validating against the full pool.
             selected = candidate_positions[selected]
         return self._validate_selection(selected, context)
+
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Cross-round state a checkpoint must carry to resume bit-identically.
+
+        The warm-start pair ``(scored ids, relaxed weights)`` and the reused
+        η are the only state that changes which points later rounds select;
+        diagnostics (``last_result``, ``recovery_events``) are deliberately
+        not checkpointed.
+        """
+
+        state: dict = {}
+        if self._previous is not None:
+            prev_ids, prev_weights = self._previous
+            state["previous_ids"] = [int(i) for i in prev_ids]
+            state["previous_weights"] = [float(w) for w in prev_weights]
+        if self._previous_eta is not None:
+            state["previous_eta"] = float(self._previous_eta)
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        if "previous_ids" in state and "previous_weights" in state:
+            self._previous = (
+                np.asarray(state["previous_ids"], dtype=np.int64),
+                np.asarray(state["previous_weights"], dtype=np.float64),
+            )
+        if state.get("previous_eta") is not None:
+            self._previous_eta = float(state["previous_eta"])

@@ -243,6 +243,39 @@ class PoolStore:
         self._pool_ids_cache = None
         return global_ids, self.labels[global_ids]
 
+    def restore_membership(self, labeled_ids: np.ndarray) -> None:
+        """Reset pool/labeled membership to a checkpointed acquisition history.
+
+        ``labeled_ids`` is the complete labeled id list in acquisition order,
+        starting with the initial block ``0..m0-1`` (how every session
+        begins); all other ids return to the pool.  Used by
+        ``ActiveSession.resume`` — membership is pure bookkeeping over the
+        master arrays, so restoring it is exact regardless of store flavor
+        (sharded masks are views into :attr:`in_pool`, streaming growth is
+        replayed before this call).
+        """
+
+        ids = np.asarray(labeled_ids, dtype=np.int64).ravel()
+        require(ids.size >= self.num_initial, "labeled history is shorter than the initial block")
+        require(
+            bool(np.array_equal(ids[: self.num_initial], np.arange(self.num_initial))),
+            "labeled history must start with the initial block in id order",
+        )
+        require(np.unique(ids).size == ids.size, "duplicate ids in the labeled history")
+        acquired = ids[self.num_initial:]
+        require(
+            bool(
+                acquired.size == 0
+                or (int(acquired.min()) >= self.num_initial and int(acquired.max()) < self.total_points)
+            ),
+            "labeled id out of range for this store",
+        )
+        self.in_pool[:] = True
+        self.in_pool[: self.num_initial] = False
+        self.in_pool[acquired] = False
+        self._labeled_ids = [int(i) for i in ids]
+        self._pool_ids_cache = None
+
 
 class DensePointStore(PoolStore):
     """The monolithic in-memory store: one dense host master array.

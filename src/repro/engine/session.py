@@ -52,6 +52,7 @@ precedent).
 
 from __future__ import annotations
 
+import pathlib
 import time
 from dataclasses import dataclass
 from typing import Callable, Optional, Union
@@ -69,6 +70,7 @@ from repro.fisher.operators import FisherDataset
 from repro.models.logistic_regression import LogisticRegressionClassifier
 from repro.models.metrics import accuracy, class_balanced_accuracy
 from repro.models.softmax import reduced_probabilities
+from repro.utils.io import atomic_write_json, read_json
 from repro.utils.random import as_generator
 from repro.utils.validation import require
 
@@ -151,6 +153,29 @@ class SessionConfig:
         Any ``keep_ratio < 1`` is an approximation — the frontier is measured
         in ``benchmarks/bench_prefilter.py``, the ``cg_warm_start``
         documentation precedent.  ``None`` (default) scores the whole pool.
+    on_rank_failure:
+        What a multi-rank selection should do when a rank dies mid-round
+        (a :class:`~repro.parallel.comm.CommError` escapes the launcher).
+        ``"abort"`` (default) propagates the failure; ``"repartition_retry"``
+        asks FIRAL-style strategies to re-partition the pool across the
+        surviving ranks and deterministically re-run the round (see
+        ``FIRALStrategy`` and the README's *Fault tolerance* section).
+        Forwarded via ``SessionInfo``; non-parallel strategies ignore it.
+    fault_plan:
+        Optional :class:`~repro.parallel.faults.FaultPlan` injected into the
+        strategy's distributed selection — CI and benchmarks use this to
+        rehearse rank failures reproducibly.  Requires ``parallel_ranks``.
+    checkpoint_every:
+        Write a crash-safe session checkpoint (atomic JSON via
+        :meth:`ActiveSession.checkpoint`) after every this-many completed
+        rounds of :meth:`ActiveSession.run`.  Requires ``checkpoint_path``.
+        ``None`` (default) never checkpoints automatically.  Lower cadence
+        costs less I/O per round but re-runs more rounds after a crash; the
+        tradeoff is measured in ``benchmarks/bench_fault_recovery.py``.
+    checkpoint_path:
+        Where the automatic checkpoint is written (a single file,
+        overwritten atomically each time).  Also the default target of an
+        explicit :meth:`ActiveSession.checkpoint` call.
     """
 
     incremental_fisher: bool = False
@@ -162,6 +187,10 @@ class SessionConfig:
     fisher_refresh_every: Optional[int] = None
     store: Optional[Union[PoolStore, Callable[[ActiveLearningProblem], PoolStore]]] = None
     prefilter: Optional[CandidateFilter] = None
+    on_rank_failure: str = "abort"
+    fault_plan: Optional[object] = None
+    checkpoint_every: Optional[int] = None
+    checkpoint_path: Optional[Union[str, pathlib.Path]] = None
 
     @classmethod
     def fast(cls) -> "SessionConfig":
@@ -268,6 +297,21 @@ class ActiveSession:
                 "SessionConfig.prefilter must implement "
                 "CandidateFilter.select_candidates(context, rng)",
             )
+        require(
+            self.config.on_rank_failure in ("abort", "repartition_retry"),
+            "on_rank_failure must be 'abort' or 'repartition_retry'",
+        )
+        if self.config.fault_plan is not None:
+            require(
+                self.config.parallel_ranks is not None,
+                "SessionConfig.fault_plan requires parallel_ranks",
+            )
+        if self.config.checkpoint_every is not None:
+            require(self.config.checkpoint_every > 0, "checkpoint_every must be positive")
+            require(
+                self.config.checkpoint_path is not None,
+                "checkpoint_every requires checkpoint_path",
+            )
         num_shards = getattr(self.store, "num_shards", None)
         if num_shards is not None and self.config.parallel_ranks is not None:
             require(
@@ -292,8 +336,11 @@ class ActiveSession:
                     if self.config.prefilter is None
                     else getattr(self.config.prefilter, "name", "prefilter")
                 ),
+                on_rank_failure=self.config.on_rank_failure,
+                fault_plan=self.config.fault_plan,
             )
         )
+        self._base_total = self.store.total_points
         self._fit()
         if self.config.incremental_fisher:
             # Freeze the initial points' probabilities under the classifier
@@ -586,6 +633,187 @@ class ActiveSession:
         )
         if record_initial and not self._initial_recorded and self.round_index == 0:
             self.record_initial()
+        cadence = self.config.checkpoint_every
         for _ in range(rounds):
             self.step()
+            if cadence is not None and self.round_index % cadence == 0:
+                self.checkpoint()
         return self.result
+
+    # ------------------------------------------------------------------ #
+    # crash-safe checkpointing
+    # ------------------------------------------------------------------ #
+    #: Bumped whenever the checkpoint payload layout changes incompatibly.
+    CHECKPOINT_FORMAT_VERSION = 1
+
+    def _config_fingerprint(self) -> dict:
+        """The config switches a resumed session must match to stay bit-identical."""
+
+        cfg = self.config
+        return {
+            "incremental_fisher": bool(cfg.incremental_fisher),
+            "relax_warm_start": bool(cfg.relax_warm_start),
+            "reuse_eta": bool(cfg.reuse_eta),
+            "parallel_ranks": None if cfg.parallel_ranks is None else int(cfg.parallel_ranks),
+            "parallel_transport": cfg.parallel_transport,
+            "fisher_refresh_every": (
+                None if cfg.fisher_refresh_every is None else int(cfg.fisher_refresh_every)
+            ),
+            "prefilter": (
+                None if cfg.prefilter is None else getattr(cfg.prefilter, "name", "prefilter")
+            ),
+        }
+
+    def checkpoint(self, path=None) -> pathlib.Path:
+        """Write the full mid-run session state to ``path`` atomically.
+
+        The checkpoint captures everything :meth:`resume` needs to continue
+        the run **bit-identically**: the round index, the RNG bit-generator
+        state, the accuracy curve so far, the labeled-id acquisition history
+        (plus any streamed pool extension rows), the incremental-Fisher
+        accumulator and frozen probabilities, and the strategy's own
+        selection-affecting state (``SelectionStrategy.state_dict``).  Floats
+        survive the JSON round trip exactly (``repr`` shortest round-trip),
+        and the write goes through a temp file + ``os.replace``, so a crash
+        mid-write leaves the previous checkpoint intact rather than a
+        truncated file.
+        """
+
+        target = path if path is not None else self.config.checkpoint_path
+        require(
+            target is not None,
+            "no checkpoint target: pass a path or set SessionConfig.checkpoint_path",
+        )
+        store_section = {
+            "kind": self.store.kind,
+            "total_points": int(self.store.total_points),
+            "num_initial": int(self.store.num_initial),
+            "labeled_ids": [int(i) for i in self.store.labeled_ids],
+        }
+        if self.store.total_points > self._base_total:
+            # Streamed pool growth: save the appended rows so resume can
+            # replay them under the same ids before restoring membership.
+            extension = np.arange(self._base_total, self.store.total_points, dtype=np.int64)
+            store_section["extension_features"] = self.store.features_host(extension).tolist()
+            store_section["extension_labels"] = self.store.labels_host(extension).tolist()
+        fisher_section = None
+        if self.config.incremental_fisher:
+            assert self._accumulator is not None and self._frozen_probs is not None
+            fisher_section = {
+                "frozen_probs": np.asarray(self._frozen_probs, dtype=np.float64).tolist(),
+                "accumulator": self._accumulator.state_dict(),
+            }
+        state_hook = getattr(self.strategy, "state_dict", None)
+        payload = {
+            "format_version": self.CHECKPOINT_FORMAT_VERSION,
+            "round_index": int(self.round_index),
+            "budget_per_round": int(self.budget_per_round),
+            "planned_rounds": self.planned_rounds,
+            "initial_recorded": bool(self._initial_recorded),
+            "rng_state": self.rng.bit_generator.state,
+            "result": self.result.to_dict(),
+            "config": self._config_fingerprint(),
+            "store": store_section,
+            "fisher": fisher_section,
+            "strategy": {
+                "name": self.strategy.name,
+                "state": state_hook() if callable(state_hook) else {},
+            },
+        }
+        return atomic_write_json(target, payload)
+
+    @classmethod
+    def resume(
+        cls,
+        path,
+        problem: ActiveLearningProblem,
+        strategy,
+        *,
+        classifier: Optional[LogisticRegressionClassifier] = None,
+        config: Optional[SessionConfig] = None,
+    ) -> "ActiveSession":
+        """Rebuild a session from a :meth:`checkpoint` file and continue it.
+
+        ``problem``, ``strategy``, ``classifier`` and ``config`` must be
+        constructed exactly as for the original session — the checkpoint
+        holds the run *state*, not the experiment definition.  The config
+        switches that affect selection are fingerprinted in the checkpoint
+        and validated here; a corrupt or truncated file fails loudly
+        (``ValueError``) instead of resuming from garbage.  The resumed
+        session's remaining rounds are bit-identical to the uninterrupted
+        run (test-pinned for every shipped strategy in
+        ``tests/test_engine_checkpoint.py``).
+        """
+
+        payload = read_json(path, description="session checkpoint")
+        require(
+            payload.get("format_version") == cls.CHECKPOINT_FORMAT_VERSION,
+            f"unsupported checkpoint format version {payload.get('format_version')!r}",
+        )
+        session = cls(
+            problem,
+            strategy,
+            budget_per_round=int(payload["budget_per_round"]),
+            num_rounds=payload["planned_rounds"],
+            classifier=classifier,
+            config=config,
+        )
+        saved_config = payload["config"]
+        current_config = session._config_fingerprint()
+        for key, value in current_config.items():
+            require(
+                saved_config.get(key) == value,
+                f"checkpoint was written with {key}={saved_config.get(key)!r}, "
+                f"but this session has {key}={value!r}",
+            )
+        store_section = payload["store"]
+        require(
+            session.store.kind == store_section["kind"],
+            f"checkpoint was written with a '{store_section['kind']}' store, "
+            f"but this session has a '{session.store.kind}' store",
+        )
+        if int(store_section["total_points"]) > session.store.total_points:
+            require(
+                "extension_features" in store_section,
+                "checkpoint grew the pool but carries no extension rows",
+            )
+            session.extend_pool(
+                np.asarray(store_section["extension_features"], dtype=np.float64),
+                np.asarray(store_section["extension_labels"], dtype=np.int64),
+            )
+        require(
+            session.store.total_points == int(store_section["total_points"]),
+            "store size mismatch after replaying checkpointed pool growth",
+        )
+        session.store.restore_membership(
+            np.asarray(store_section["labeled_ids"], dtype=np.int64)
+        )
+        session.round_index = int(payload["round_index"])
+        session._initial_recorded = bool(payload["initial_recorded"])
+        session.result = ExperimentResult.from_dict(payload["result"])
+        rng_state = payload["rng_state"]
+        bit_generator = getattr(np.random, rng_state["bit_generator"])()
+        bit_generator.state = rng_state
+        session.rng = np.random.Generator(bit_generator)
+        if session.config.incremental_fisher:
+            fisher_section = payload.get("fisher")
+            require(
+                fisher_section is not None,
+                "checkpoint carries no Fisher state but incremental_fisher is enabled",
+            )
+            assert session._accumulator is not None
+            session._frozen_probs = np.asarray(
+                fisher_section["frozen_probs"], dtype=np.float64
+            )
+            session._accumulator.load_state_dict(fisher_section["accumulator"])
+        session._fit()
+        strategy_section = payload.get("strategy", {})
+        require(
+            strategy_section.get("name") == session.strategy.name,
+            f"checkpoint was written by strategy {strategy_section.get('name')!r}, "
+            f"but this session runs {session.strategy.name!r}",
+        )
+        load_hook = getattr(session.strategy, "load_state_dict", None)
+        if callable(load_hook):
+            load_hook(strategy_section.get("state", {}))
+        return session

@@ -122,3 +122,35 @@ class LabeledFisherAccumulator:
             (self.num_classes, self.dimension, self.dimension), dtype=COMPUTE_DTYPE
         )
         self._num_points = 0
+
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """The running sum as JSON-serializable state (exact float round-trip)."""
+
+        backend = get_backend()
+        return {
+            "blocks": backend.to_numpy(self._blocks).tolist(),
+            "num_points": int(self._num_points),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a checkpointed running sum **directly**.
+
+        The blocks are restored as saved rather than re-accumulated from the
+        labeled history: re-adding all points in one ``add`` call would sum
+        their contributions in a single einsum, a different floating-point
+        reduction order than the round-by-round accumulation that produced
+        the checkpoint — and bit-identical resume is the contract.
+        """
+
+        backend = get_backend()
+        blocks = backend.ascompute(state["blocks"])
+        require(
+            tuple(int(s) for s in blocks.shape)
+            == (self.num_classes, self.dimension, self.dimension),
+            "checkpointed accumulator shape mismatch",
+        )
+        self._blocks = blocks
+        self._num_points = int(state["num_points"])

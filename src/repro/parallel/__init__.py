@@ -22,6 +22,10 @@ inter-GPU communication (§ III-C).  This package provides:
 * :mod:`repro.parallel.firal` — :class:`DistributedApproxFIRAL`, the full
   RELAX → η → ROUND selector over distributed solvers (what a session with
   ``SessionConfig.parallel_ranks`` runs).
+* :mod:`repro.parallel.faults` — deterministic fault injection
+  (:class:`FaultPlan` / :class:`FaultInjectingComm`): kill, delay or drop a
+  chosen rank at a chosen collective call, reproducibly on both transports,
+  so rank-failure recovery is testable in CI without real hardware.
 * :mod:`repro.parallel.cluster` — a driver that runs a p-rank job and
   reports per-rank compute time plus modeled communication time, which is
   how the strong/weak scaling figures (Figs. 6-7) are regenerated.
@@ -30,13 +34,20 @@ inter-GPU communication (§ III-C).  This package provides:
 from repro.parallel.comm import (
     Comm,
     CommAbortedError,
+    CommError,
     CommProtocolError,
     CommunicationLog,
     SharedMemoryComm,
     SimulatedComm,
     create_communicators,
 )
-from repro.parallel.launcher import RankFailedError, TRANSPORTS, run_spmd
+from repro.parallel.launcher import RankFailedError, SPMD_ATTEMPT_ENV, TRANSPORTS, run_spmd
+from repro.parallel.faults import (
+    FaultInjectingComm,
+    FaultInjectingEntry,
+    FaultPlan,
+    InjectedFaultError,
+)
 from repro.parallel.partition import block_partition, partition_indices, partition_pool, pool_offsets
 from repro.parallel.distributed_relax import distributed_relax, relax_rank_main
 from repro.parallel.distributed_round import (
@@ -51,10 +62,16 @@ from repro.parallel.cluster import SimulatedCluster, ScalingMeasurement
 __all__ = [
     "Comm",
     "CommAbortedError",
+    "CommError",
     "CommProtocolError",
     "CommunicationLog",
     "DistributedApproxFIRAL",
+    "FaultInjectingComm",
+    "FaultInjectingEntry",
+    "FaultPlan",
+    "InjectedFaultError",
     "RankFailedError",
+    "SPMD_ATTEMPT_ENV",
     "SharedMemoryComm",
     "SimulatedComm",
     "TRANSPORTS",

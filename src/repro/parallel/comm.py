@@ -53,6 +53,7 @@ from repro.utils.validation import require
 __all__ = [
     "Comm",
     "CommAbortedError",
+    "CommError",
     "CommProtocolError",
     "CommunicationLog",
     "SharedMemoryComm",
@@ -61,11 +62,49 @@ __all__ = [
 ]
 
 
-class CommProtocolError(RuntimeError):
+class CommError(RuntimeError):
+    """Base of all communicator failures, carrying structured context.
+
+    Recovery code dispatches on the *fields* — ``rank`` (the rank that
+    raised), ``sequence`` (its collective call counter), ``collective`` (the
+    collective's name) and ``tag`` (its wire code) — never on message text,
+    which exists only for humans.  Every field is ``None`` when the failure
+    happened outside a collective (e.g. a barrier abort before the first
+    call).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        rank: Optional[int] = None,
+        sequence: Optional[int] = None,
+        tag: Optional[int] = None,
+        collective: Optional[str] = None,
+    ):
+        super().__init__(message)
+        self.rank = None if rank is None else int(rank)
+        self.sequence = None if sequence is None else int(sequence)
+        self.tag = None if tag is None else int(tag)
+        self.collective = collective
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        fields = [
+            ("rank", self.rank),
+            ("collective", self.collective),
+            ("sequence", self.sequence),
+            ("tag", self.tag),
+        ]
+        rendered = " ".join(f"{name}={value}" for name, value in fields if value is not None)
+        return f"{base} [{rendered}]" if rendered else base
+
+
+class CommProtocolError(CommError):
     """Ranks diverged from the SPMD program (mismatched collective or payload)."""
 
 
-class CommAbortedError(RuntimeError):
+class CommAbortedError(CommError):
     """The communicator was torn down (peer failure or barrier timeout)."""
 
 
@@ -284,6 +323,7 @@ class SimulatedComm(_CollectiveBody):
         self.rank = int(rank)
         self._state = state
         self._seq = 0
+        self._inflight: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # size / identity
@@ -318,13 +358,18 @@ class SimulatedComm(_CollectiveBody):
         except threading.BrokenBarrierError as exc:
             raise CommAbortedError(
                 f"rank {self.rank}: communicator aborted (a peer rank failed, "
-                "or a collective went unmatched past the timeout)"
+                "or a collective went unmatched past the timeout)",
+                rank=self.rank,
+                sequence=self._seq if self._inflight is not None else None,
+                tag=_TAG_CODES.get(self._inflight) if self._inflight is not None else None,
+                collective=self._inflight,
             ) from exc
 
     def _exchange(self, tag: str, payload) -> List:
         """Post ``payload``, rendezvous, and return all per-rank payloads."""
 
         self._seq += 1
+        self._inflight = tag
         state = self._state
         state.slots[self.rank] = (self._seq, tag, payload)
         self._wait()
@@ -335,7 +380,11 @@ class SimulatedComm(_CollectiveBody):
             if seq != self._seq or peer_tag != tag:
                 raise CommProtocolError(
                     f"rank {self.rank} called {tag}#{self._seq} but rank {rank} "
-                    f"posted {peer_tag}#{seq} — ranks diverged from the SPMD program"
+                    f"posted {peer_tag}#{seq} — ranks diverged from the SPMD program",
+                    rank=self.rank,
+                    sequence=self._seq,
+                    tag=_TAG_CODES.get(tag),
+                    collective=tag,
                 )
         return [post[2] for post in posts]
 
@@ -458,6 +507,7 @@ class SharedMemoryComm(_CollectiveBody):
         self._timeout = float(timeout)
         self._log = CommunicationLog()
         self._seq = 0
+        self._inflight: Optional[str] = None
         self._shm = shared_memory.SharedMemory(name=shm_name)
         require(
             self._shm.size >= self._size * self._slot_bytes,
@@ -524,7 +574,11 @@ class SharedMemoryComm(_CollectiveBody):
             raise CommProtocolError(
                 f"rank {self.rank} called {tag}#{self._seq} but rank {rank}'s slot holds "
                 f"sequence {int(header[0])} tag {int(header[1])} — ranks diverged from "
-                "the SPMD program"
+                "the SPMD program",
+                rank=self.rank,
+                sequence=self._seq,
+                tag=_TAG_CODES[tag],
+                collective=tag,
             )
         ndim = int(header[3])
         if ndim == _NO_PAYLOAD:
@@ -543,11 +597,16 @@ class SharedMemoryComm(_CollectiveBody):
             self._barrier.wait(self._timeout)
         except threading.BrokenBarrierError as exc:
             raise CommAbortedError(
-                f"rank {self.rank}: barrier broken (peer failure or >{self._timeout}s timeout)"
+                f"rank {self.rank}: barrier broken (peer failure or >{self._timeout}s timeout)",
+                rank=self.rank,
+                sequence=self._seq if self._inflight is not None else None,
+                tag=_TAG_CODES.get(self._inflight) if self._inflight is not None else None,
+                collective=self._inflight,
             ) from exc
 
     def _exchange(self, tag: str, arr: Optional[np.ndarray]) -> List[Optional[np.ndarray]]:
         self._seq += 1
+        self._inflight = tag
         self._post(tag, arr)
         self._wait()
         posts = [self._read(rank, tag) for rank in range(self._size)]

@@ -306,12 +306,16 @@ def distributed_relax(
     initial_weights: Optional[Array] = None,
     timeout: float = 120.0,
     offsets: Optional[np.ndarray] = None,
+    fault_plan=None,
 ) -> DistributedRelaxResult:
     """Run Algorithm 2 over ``num_ranks`` ranks of the chosen transport.
 
     ``offsets`` overrides the balanced pool split with explicit shard
     boundaries (a sharded pool store's ownership table); see
-    :func:`repro.parallel.partition.partition_pool`.
+    :func:`repro.parallel.partition.partition_pool`.  ``fault_plan`` wraps
+    every rank's communicator in a
+    :class:`~repro.parallel.faults.FaultInjectingComm` firing the plan — the
+    chaos-testing hook the recovery tests and benchmarks use.
 
     Numerically equivalent (up to reduction order) to
     :func:`repro.core.approx_relax.approx_relax` with the same configuration,
@@ -357,8 +361,13 @@ def distributed_relax(
         )
         start = stop
 
+    entry = relax_rank_main
+    if fault_plan is not None:
+        from repro.parallel.faults import FaultInjectingEntry
+
+        entry = FaultInjectingEntry(relax_rank_main, fault_plan)
     outputs = run_spmd(
-        relax_rank_main,
+        entry,
         specs,
         transport=transport,
         max_message_bytes=relax_message_bytes(

@@ -377,6 +377,16 @@ def round_message_bytes(num_classes: int, dimension: int) -> int:
     return itemsize * max(num_classes * dimension * dimension, 1)
 
 
+def _wrap_entry(entry, fault_plan):
+    """Wrap an SPMD entry for fault injection when a plan is given."""
+
+    if fault_plan is None:
+        return entry
+    from repro.parallel.faults import FaultInjectingEntry
+
+    return FaultInjectingEntry(entry, fault_plan)
+
+
 def _build_rank_specs(
     dataset: FisherDataset,
     z_relaxed: Array,
@@ -430,6 +440,7 @@ def distributed_round(
     transport: str = "simulated",
     timeout: float = 120.0,
     offsets: Optional[np.ndarray] = None,
+    fault_plan=None,
 ) -> DistributedRoundResult:
     """Run Algorithm 3 over ``num_ranks`` ranks of the chosen transport.
 
@@ -454,7 +465,7 @@ def distributed_round(
         dataset, z_relaxed, budget, eta, cfg, num_ranks, transport, offsets
     )
     outputs = run_spmd(
-        round_rank_main,
+        _wrap_entry(round_rank_main, fault_plan),
         specs,
         transport=transport,
         max_message_bytes=round_message_bytes(dataset.num_classes, dataset.dimension),
@@ -487,6 +498,7 @@ def distributed_round_search(
     transport: str = "simulated",
     timeout: float = 120.0,
     offsets: Optional[np.ndarray] = None,
+    fault_plan=None,
 ) -> Tuple[DistributedRoundResult, float]:
     """Run the § IV-A η grid search inside **one** ``run_spmd`` launch.
 
@@ -520,7 +532,7 @@ def distributed_round_search(
         dataset, z_relaxed, budget, grid[0], cfg, num_ranks, transport, offsets, eta_grid=grid
     )
     outputs = run_spmd(
-        round_search_rank_main,
+        _wrap_entry(round_search_rank_main, fault_plan),
         specs,
         transport=transport,
         max_message_bytes=round_message_bytes(dataset.num_classes, dataset.dimension),

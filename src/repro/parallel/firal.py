@@ -69,6 +69,10 @@ class DistributedApproxFIRAL(_FIRALBase):
     timeout:
         Seconds a rank may wait at a collective before the run is declared
         dead (shared-memory transport).
+    fault_plan:
+        Optional :class:`~repro.parallel.faults.FaultPlan` injected into
+        every SPMD launch this selector makes — the chaos-testing hook a
+        session's ``SessionConfig.fault_plan`` threads down.
     """
 
     #: same algorithm as the serial selector — only the execution substrate
@@ -83,6 +87,7 @@ class DistributedApproxFIRAL(_FIRALBase):
         num_ranks: int,
         transport: str = "simulated",
         timeout: float = 120.0,
+        fault_plan=None,
     ):
         require(num_ranks > 0, "num_ranks must be positive")
         require(transport in TRANSPORTS, f"unknown transport '{transport}'; use one of {TRANSPORTS}")
@@ -93,6 +98,7 @@ class DistributedApproxFIRAL(_FIRALBase):
         self.num_ranks = int(num_ranks)
         self.transport = transport
         self.timeout = float(timeout)
+        self.fault_plan = fault_plan
         #: Explicit per-rank pool boundaries for the next ``select`` call
         #: (set per round by ``FIRALStrategy`` from
         #: ``SelectionContext.shard_offsets``); ``None`` means the balanced
@@ -112,6 +118,7 @@ class DistributedApproxFIRAL(_FIRALBase):
             initial_weights=initial_weights,
             timeout=self.timeout,
             offsets=self.partition_offsets,
+            fault_plan=self.fault_plan,
         )
 
     def _round_solver_call(self, dataset, z_relaxed, budget, eta, config):
@@ -127,6 +134,7 @@ class DistributedApproxFIRAL(_FIRALBase):
             transport=self.transport,
             timeout=self.timeout,
             offsets=self.partition_offsets,
+            fault_plan=self.fault_plan,
         )
 
     def _round(self, dataset: FisherDataset, weights: Array, budget: int, eta: float):
@@ -143,4 +151,5 @@ class DistributedApproxFIRAL(_FIRALBase):
             transport=self.transport,
             timeout=self.timeout,
             offsets=self.partition_offsets,
+            fault_plan=self.fault_plan,
         )

@@ -27,6 +27,7 @@ identical by construction).
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import traceback
@@ -37,6 +38,7 @@ import numpy as np
 from repro.parallel.comm import (
     Comm,
     CommAbortedError,
+    CommError,
     CommunicationLog,
     SharedMemoryComm,
     SimulatedComm,
@@ -48,6 +50,7 @@ from repro.utils.validation import require
 __all__ = [
     "ComponentTimers",
     "RankFailedError",
+    "SPMD_ATTEMPT_ENV",
     "TRANSPORTS",
     "collective_log",
     "merge_component_seconds",
@@ -60,15 +63,43 @@ TRANSPORTS = ("simulated", "shared_memory")
 #: Default per-rank slot capacity (bytes) when the caller gives no bound.
 DEFAULT_MESSAGE_BYTES = 1 << 22
 
+#: Environment variable carrying the zero-based launch attempt of the current
+#: :func:`run_spmd` call.  Set for both transports (spawned rank processes
+#: inherit it), so attempt-gated fault plans (`FaultPlan.attempt`) can model
+#: *transient* failures that vanish on retry.
+SPMD_ATTEMPT_ENV = "REPRO_SPMD_ATTEMPT"
+
 RankMain = Callable[[Comm, Any], Any]
 
 
-class RankFailedError(RuntimeError):
-    """One or more ranks raised; carries the first failure's rank and traceback."""
+class RankFailedError(CommError):
+    """One or more ranks raised; carries the first failure's rank and traceback.
 
-    def __init__(self, rank: int, message: str):
-        super().__init__(f"rank {rank} failed: {message}")
-        self.rank = int(rank)
+    Inherits the structured :class:`~repro.parallel.comm.CommError` fields;
+    for failures that crossed a process boundary (shared-memory transport)
+    ``cause_type`` additionally names the original exception class, so
+    recovery code can distinguish a root cause from a peer's
+    ``CommAbortedError`` echo without parsing the traceback text.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        message: str,
+        *,
+        sequence: Optional[int] = None,
+        tag: Optional[int] = None,
+        collective: Optional[str] = None,
+        cause_type: Optional[str] = None,
+    ):
+        super().__init__(
+            f"rank {rank} failed: {message}",
+            rank=rank,
+            sequence=sequence,
+            tag=tag,
+            collective=collective,
+        )
+        self.cause_type = cause_type
 
 
 class ComponentTimers:
@@ -152,6 +183,8 @@ def run_spmd(
     transport: str = "simulated",
     max_message_bytes: Optional[int] = None,
     timeout: float = 120.0,
+    max_retries: int = 0,
+    retry_backoff: float = 0.05,
 ) -> List[Any]:
     """Run ``entry(comm, rank_args[rank])`` on every rank; return outputs in rank order.
 
@@ -178,13 +211,44 @@ def run_spmd(
         indefinitely while rank processes are alive — a long solve is not a
         failure — and raises :class:`RankFailedError` only when a rank
         reports an error or dies without reporting.
+    max_retries:
+        Relaunch the whole SPMD program up to this many extra times when a
+        launch fails with a :class:`~repro.parallel.comm.CommError`
+        (rank failure, barrier abort, protocol divergence).  Safe because a
+        launch is all-or-nothing: per-rank state lives only inside the
+        failed launch, so a relaunch replays the identical deterministic
+        program.  Non-communicator errors (a bug in the rank body) propagate
+        immediately.  The zero-based attempt index is exported as
+        ``SPMD_ATTEMPT_ENV`` for fault plans gated on a specific attempt.
+    retry_backoff:
+        Base of the exponential backoff between attempts:
+        ``retry_backoff * 2**attempt`` seconds after attempt ``attempt``.
     """
 
     require(len(rank_args) > 0, "at least one rank is required")
     require(transport in TRANSPORTS, f"unknown transport '{transport}'; use one of {TRANSPORTS}")
-    if transport == "simulated":
-        return _run_threads(entry, rank_args, timeout)
-    return _run_processes(entry, rank_args, max_message_bytes, timeout)
+    require(max_retries >= 0, "max_retries must be non-negative")
+    require(retry_backoff >= 0, "retry_backoff must be non-negative")
+
+    previous_attempt = os.environ.get(SPMD_ATTEMPT_ENV)
+    try:
+        attempt = 0
+        while True:
+            os.environ[SPMD_ATTEMPT_ENV] = str(attempt)
+            try:
+                if transport == "simulated":
+                    return _run_threads(entry, rank_args, timeout)
+                return _run_processes(entry, rank_args, max_message_bytes, timeout)
+            except CommError:
+                if attempt >= max_retries:
+                    raise
+                time.sleep(retry_backoff * (2**attempt))
+                attempt += 1
+    finally:
+        if previous_attempt is None:
+            os.environ.pop(SPMD_ATTEMPT_ENV, None)
+        else:
+            os.environ[SPMD_ATTEMPT_ENV] = previous_attempt
 
 
 # --------------------------------------------------------------------- #
@@ -230,6 +294,18 @@ def _run_threads(entry: RankMain, rank_args: Sequence[Any], timeout: float) -> L
 # --------------------------------------------------------------------- #
 # shared-memory transport: spawned processes
 # --------------------------------------------------------------------- #
+def _comm_error_fields(exc: BaseException) -> dict:
+    """Structured context of a failure, picklable for the result queue."""
+
+    if isinstance(exc, CommError):
+        return {
+            "sequence": exc.sequence,
+            "tag": exc.tag,
+            "collective": exc.collective,
+        }
+    return {}
+
+
 def _process_rank_main(entry, rank, size, shm_name, barrier, capacity, timeout, args, queue):
     """Module-level child body (spawn requires a picklable, importable target)."""
 
@@ -241,7 +317,9 @@ def _process_rank_main(entry, rank, size, shm_name, barrier, capacity, timeout, 
         # Break the shared barrier so peer ranks stop waiting for this rank
         # instead of blocking until the timeout.
         barrier.abort()
-        queue.put((rank, False, (type(exc).__name__, traceback.format_exc())))
+        queue.put(
+            (rank, False, (type(exc).__name__, traceback.format_exc(), _comm_error_fields(exc)))
+        )
     finally:
         comm.close()
 
@@ -318,7 +396,10 @@ def _run_processes(
             primary = next(
                 (f for f in failures if f[1] != CommAbortedError.__name__), failures[0]
             )
-            raise RankFailedError(primary[0], f"\n{primary[2]}")
+            fields = primary[3] if len(primary) > 3 else {}
+            raise RankFailedError(
+                primary[0], f"\n{primary[2]}", cause_type=primary[1], **fields
+            )
         return outputs
     finally:
         # Best-effort teardown: never let cleanup of one process mask the

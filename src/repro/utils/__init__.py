@@ -13,8 +13,12 @@ from repro.utils.validation import (
     require,
 )
 from repro.utils.timing import Timer, TimingBreakdown, timed_region
+from repro.utils.io import atomic_write_json, atomic_write_text, read_json
 
 __all__ = [
+    "atomic_write_json",
+    "atomic_write_text",
+    "read_json",
     "as_generator",
     "rademacher",
     "spawn_generators",

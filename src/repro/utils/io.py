@@ -1,0 +1,66 @@
+"""Crash-safe file I/O helpers.
+
+Long active-learning runs checkpoint through JSON files; a process killed
+mid-``write_text`` would otherwise leave a truncated file that *parses as an
+error* only at the next resume, long after the cause is gone.  Two rules fix
+that, applied by every writer/reader in the repository:
+
+* **Writes are atomic.**  :func:`atomic_write_text` writes to a temporary
+  file in the *same directory* (so the final rename never crosses a
+  filesystem boundary) and ``os.replace``\\ s it into place — POSIX renames
+  are atomic, so readers observe either the complete old file or the
+  complete new file, never a partial write.
+* **Reads fail loudly.**  :func:`read_json` turns a syntactically broken
+  file (truncated write from a pre-atomic era, disk corruption, a stray
+  editor save) into a :class:`ValueError` naming the file and the parse
+  position, instead of letting a bare ``JSONDecodeError`` bubble up without
+  saying *which* checkpoint is bad.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any
+
+__all__ = ["atomic_write_text", "atomic_write_json", "read_json"]
+
+
+def atomic_write_text(path, text: str) -> pathlib.Path:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``)."""
+
+    p = pathlib.Path(path)
+    tmp = p.with_name(f"{p.name}.tmp-{os.getpid()}")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, p)
+    except BaseException:
+        # Never leave the temp file behind on a failed write.
+        try:
+            tmp.unlink()
+        except FileNotFoundError:
+            pass
+        raise
+    return p
+
+
+def atomic_write_json(path, payload: Any, *, indent: int = 2, sort_keys: bool = True) -> pathlib.Path:
+    """Serialize ``payload`` and write it atomically as JSON."""
+
+    return atomic_write_text(path, json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n")
+
+
+def read_json(path, *, description: str = "JSON file") -> Any:
+    """Parse ``path`` as JSON, raising a descriptive error on corruption."""
+
+    p = pathlib.Path(path)
+    text = p.read_text()
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"corrupt or truncated {description} at {p}: {exc}. "
+            "The file is not valid JSON — it was likely written by an "
+            "interrupted process predating atomic writes, or damaged on disk."
+        ) from exc

@@ -88,3 +88,33 @@ class TestAggregateResultSerialization:
             AggregateResult.from_dict(
                 {"strategy_name": "s", "dataset_name": "d", "trials": []}
             )
+
+
+class TestAtomicSaves:
+    def test_save_leaves_no_temp_file(self, tmp_path):
+        _experiment().save(tmp_path / "curve.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["curve.json"]
+
+    def test_save_replaces_existing_file_atomically(self, tmp_path):
+        path = tmp_path / "curve.json"
+        _experiment(rounds=1).save(path)
+        _experiment(rounds=5).save(path)
+        assert len(ExperimentResult.load(path).records) == 5
+
+    def test_truncated_file_fails_loudly(self, tmp_path):
+        path = _experiment().save(tmp_path / "curve.json")
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(ValueError, match="corrupt or truncated"):
+            ExperimentResult.load(path)
+
+    def test_truncated_aggregate_fails_loudly(self, tmp_path):
+        agg = AggregateResult(
+            strategy_name="random",
+            dataset_name="cifar10",
+            trials=[_experiment("random")],
+        )
+        path = agg.save(tmp_path / "agg.json")
+        path.write_text(path.read_text()[:10])
+        with pytest.raises(ValueError, match="corrupt or truncated"):
+            AggregateResult.load(path)
