@@ -12,7 +12,10 @@ from __future__ import annotations
 import json
 import pathlib
 import platform
+import resource
+import sys
 import time
+import tracemalloc
 from typing import Any, Dict, Optional
 
 import numpy as np
@@ -23,7 +26,9 @@ from repro.fisher.operators import FisherDataset
 __all__ = [
     "RESULTS_DIR",
     "bench_payload",
+    "heap_peak_bytes",
     "make_random_fisher_dataset",
+    "peak_rss_bytes",
     "random_probabilities",
     "write_bench_json",
 ]
@@ -57,6 +62,34 @@ def make_random_fisher_dataset(n: int, d: int, c: int, seed: int = 0) -> FisherD
     )
 
 
+def peak_rss_bytes() -> int:
+    """Process-lifetime peak resident set size, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux but bytes on macOS; normalize so the
+    ``BENCH_*.json`` memory columns are platform-independent.  This is a
+    *high-water* mark — a benchmark that needs per-configuration peaks must
+    run each configuration in a fresh subprocess (``bench_outofcore.py``
+    does exactly that).
+    """
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+
+
+def heap_peak_bytes() -> Optional[int]:
+    """Peak traced Python-heap size since ``tracemalloc.start()``, in bytes.
+
+    Returns ``None`` when tracing is off.  NumPy routes array buffers through
+    the Python allocator domain, so this captures temporary ndarray peaks —
+    complementary to :func:`peak_rss_bytes`, which also counts mapped file
+    pages the OS may reclaim at will.
+    """
+
+    if not tracemalloc.is_tracing():
+        return None
+    return int(tracemalloc.get_traced_memory()[1])
+
+
 def bench_payload(
     name: str,
     wall_clock_seconds: Optional[float] = None,
@@ -80,6 +113,7 @@ def bench_payload(
         "python": platform.python_version(),
         "platform": platform.platform(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "peak_rss_bytes": peak_rss_bytes(),
     }
     payload.update(extra)
     return payload

@@ -66,7 +66,7 @@ from repro.core.firal import ApproxFIRAL
 from repro.datasets.registry import build_problem
 from repro.engine.prefilter import PREFILTER_KINDS, make_prefilter
 from repro.engine.session import ActiveSession, SessionConfig
-from repro.engine.stores import ShardedPointStore, StreamingPointStore
+from repro.engine.stores import MmapPointStore, ShardedPointStore, StreamingPointStore
 from repro.fisher.accumulator import LabeledFisherAccumulator
 from repro.fisher.hessian import block_diagonal_of_sum
 from repro.parallel import FaultPlan
@@ -196,6 +196,7 @@ def run(
     prefilter: str = "none",
     prefilter_keep: float = 0.25,
     inject_fault: bool = False,
+    pin_shard_devices: bool = False,
 ) -> dict:
     problem = build_problem(shape["dataset"], scale=shape["scale"], seed=seed)
     config = SessionConfig.fast() if mode == "session" else SessionConfig()
@@ -212,9 +213,21 @@ def run(
             "replenished": int(sum(c[0].shape[0] for c in chunks)),
         }
     elif store == "sharded":
-        config.store = ShardedPointStore.factory(num_shards=SHARDED_RANKS)
+        device_map = "auto" if pin_shard_devices else None
+        config.store = ShardedPointStore.factory(num_shards=SHARDED_RANKS, device_map=device_map)
         config.parallel_ranks = SHARDED_RANKS
-        extra["sharded"] = {"num_shards": SHARDED_RANKS, "transport": config.parallel_transport}
+        extra["sharded"] = {
+            "num_shards": SHARDED_RANKS,
+            "transport": config.parallel_transport,
+            "device_map": device_map,
+        }
+    elif store == "mmap":
+        # Out-of-core master: selections are pinned bit-identical to dense
+        # (see tests/test_outofcore_stores.py); bench_outofcore.py isolates
+        # the peak-RSS story.  Promotion stays under the default budget at
+        # these shapes, so --mode session (resident pool) still runs.
+        config.store = MmapPointStore.factory()
+        extra["mmap"] = {"chunk_rows": 2048}
     if inject_fault:
         # Kill the last rank mid-selection of round 1 and recover by
         # re-partitioning over the survivors — the measured end-to-end cost
@@ -288,10 +301,18 @@ def main() -> None:
     parser.add_argument("--tiny", action="store_true", help="CI-smoke shape (seconds, not minutes)")
     parser.add_argument(
         "--store",
-        choices=("dense", "streaming", "sharded"),
+        choices=("dense", "streaming", "sharded", "mmap"),
         default="dense",
         help="pool store backing the session (streaming replenishes between rounds; "
-        "sharded scatters 2-rank selection along shard ownership)",
+        "sharded scatters 2-rank selection along shard ownership; mmap keeps the "
+        "feature master on disk)",
+    )
+    parser.add_argument(
+        "--pin-shard-devices",
+        action="store_true",
+        help="with --store sharded: pin each shard's master and rank math to a "
+        "local device (round-robin over backend.local_devices(); on the NumPy "
+        "backend this is the identity placement)",
     )
     parser.add_argument(
         "--prefilter",
@@ -323,6 +344,7 @@ def main() -> None:
         prefilter=args.prefilter,
         prefilter_keep=args.prefilter_keep,
         inject_fault=args.inject_fault,
+        pin_shard_devices=args.pin_shard_devices,
     )
     name = "active_rounds"
     if args.tiny:

@@ -1,0 +1,278 @@
+"""Peak-memory frontier of the out-of-core pool store (ISSUE-8 tentpole).
+
+The claim under measurement: with the feature master on disk
+(:class:`repro.engine.MmapPointStore`) and ROUND scoring streamed in
+``chunk_rows`` blocks (:meth:`stream_round_scores`), the peak resident
+memory of a full-pool scoring pass is **O(chunk·d)**, not **O(n·d)** — while
+a :class:`DensePointStore` must hold the whole promoted master, so its peak
+grows linearly with the pool.  Wall clock is reported next to memory because
+the streamed path re-reads blocks from the page cache; acceptance is
+"within 1.5x of dense", not "free".
+
+Because ``ru_maxrss`` is a process-*lifetime* high-water mark, every
+(pool size × store × chunk) configuration runs in a **fresh spawned
+subprocess**; the parent collects one JSON row per child.  Each row carries:
+
+* ``peak_rss_bytes`` — OS resident high-water of the child process,
+* ``heap_peak_bytes`` — tracemalloc peak of the measured region only
+  (NumPy array buffers go through the Python allocator, so this isolates
+  the store's allocations from interpreter/import noise),
+* ``build_seconds`` / ``score_seconds`` — master construction and one full
+  ROUND scoring pass over the pool,
+* ``scores_checksum`` — SHA-256 of the score vector bytes; dense and mmap
+  rows of the same pool must agree (the bit-identity guarantee, asserted by
+  the parent).
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_outofcore.py                # full sweep
+    PYTHONPATH=src python benchmarks/bench_outofcore.py --tiny         # CI smoke
+
+The full sweep writes ``results/BENCH_outofcore_pools.json`` with a
+``configurations`` table (pool × kind × chunk) and a ``summary`` block with
+the dense-vs-mmap RSS ratio at the largest pool.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import subprocess
+import sys
+import time
+
+#: (pool sizes, feature dimension, classes) of the reference sweep; the
+#: largest pool's dense promoted master is n·d·8 = ~49 MB, far above the
+#: streamed working set, so the O(n) vs O(chunk) separation is unambiguous.
+REFERENCE_POOLS = (6000, 12000, 24000)
+REFERENCE_DIM = 256
+TINY_POOLS = (1500, 3000)
+TINY_DIM = 64
+NUM_CLASSES = 5
+CHUNK_ROWS = (1024, 4096)
+
+
+def child_measure(config: dict) -> dict:
+    """Measure one configuration inside a fresh process; print a JSON row.
+
+    Everything heavy is imported and allocated *after* tracemalloc starts,
+    so ``heap_peak_bytes`` reflects the measured region; ``peak_rss_bytes``
+    is read at the very end and is the child's whole-life OS peak (the
+    import cost is shared by every row, so per-row deltas isolate the
+    stores).
+    """
+
+    import tracemalloc
+
+    import numpy as np
+
+    from repro.core.config import RoundConfig
+    from repro.engine.stores import MmapPointStore
+    from repro.fisher.hessian import block_diagonal_of_sum, point_block_coefficients
+    from repro.linalg.sherman_morrison import fused_round_scores
+
+    from _utils import heap_peak_bytes, peak_rss_bytes, random_probabilities
+
+    n, d, c = config["pool"], config["dimension"], config["num_classes"]
+    kind, chunk = config["kind"], config["chunk_rows"]
+    rng = np.random.default_rng(config["seed"])
+    m0 = 2 * c
+
+    # The ROUND scoring operands (B_t^{-1}, Sigma_*) are O(c·d²) and common
+    # to both stores; built from a small labeled sample.
+    labeled = rng.standard_normal((m0, d))
+    labeled_probs = random_probabilities(rng, m0, c)
+    sigma = block_diagonal_of_sum(labeled, labeled_probs).add_identity(1.0)
+    a_inverse = sigma.inverse()
+
+    def pool_block(lo: int, hi: int) -> np.ndarray:
+        block_rng = np.random.default_rng((config["seed"], lo))
+        return block_rng.standard_normal((hi - lo, d))
+
+    probs = random_probabilities(rng, n, c)
+    gammas = point_block_coefficients(probs)
+
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    if kind == "mmap":
+        # Fully out-of-core build: blocks stream straight to disk and their
+        # pages are dropped as they go — the master never exists in RAM.
+        def blocks():
+            for lo in range(0, n, chunk):
+                hi = min(lo + chunk, n)
+                yield pool_block(lo, hi), np.zeros(hi - lo, dtype=np.int64)
+
+        store = MmapPointStore.from_blocks(
+            blocks(), n, chunk_rows=chunk, advise_dontneed=True
+        )
+        build_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        scores = store.stream_round_scores(a_inverse, sigma, gammas, 1.0, block_rows=chunk)
+        score_seconds = time.perf_counter() - t0
+    else:
+        features = np.concatenate(
+            [pool_block(lo, min(lo + chunk, n)) for lo in range(0, n, chunk)], axis=0
+        )
+        build_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        scores = np.asarray(
+            fused_round_scores(
+                a_inverse,
+                sigma,
+                np.ascontiguousarray(features, dtype=np.float64),
+                np.ascontiguousarray(gammas, dtype=np.float64),
+                1.0,
+                chunk_size=chunk,
+            )
+        )
+        score_seconds = time.perf_counter() - t0
+
+    heap_peak = heap_peak_bytes()
+    tracemalloc.stop()
+    checksum = hashlib.sha256(np.ascontiguousarray(scores, dtype=np.float64).tobytes()).hexdigest()
+    row = dict(
+        config,
+        build_seconds=build_seconds,
+        score_seconds=score_seconds,
+        wall_seconds=build_seconds + score_seconds,
+        heap_peak_bytes=heap_peak,
+        peak_rss_bytes=peak_rss_bytes(),
+        scores_checksum=checksum,
+        num_scores=int(scores.shape[0]),
+        round_chunk_default=RoundConfig().score_chunk_size,
+    )
+    print(json.dumps(row))
+    return row
+
+
+def run_child(config: dict) -> dict:
+    """Spawn a fresh interpreter for one configuration and parse its row."""
+
+    proc = subprocess.run(
+        [sys.executable, __file__, "--child", json.dumps(config)],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def sweep(pools, dimension: int, kinds=("dense", "mmap"), chunks=CHUNK_ROWS, seed: int = 0):
+    rows = []
+    for pool in pools:
+        for kind in kinds:
+            for chunk in chunks:
+                config = {
+                    "pool": int(pool),
+                    "dimension": int(dimension),
+                    "num_classes": NUM_CLASSES,
+                    "kind": kind,
+                    "chunk_rows": int(chunk),
+                    "seed": seed,
+                }
+                row = run_child(config)
+                mb = 1024 * 1024
+                print(
+                    f"pool={pool:>6} {kind:>5} chunk={chunk:>5}: "
+                    f"rss={row['peak_rss_bytes'] / mb:7.1f}MB "
+                    f"heap={row['heap_peak_bytes'] / mb:7.1f}MB "
+                    f"score={row['score_seconds']:.3f}s",
+                    file=sys.stderr,
+                )
+                rows.append(row)
+    return rows
+
+
+def summarize(rows) -> dict:
+    """Dense-vs-mmap comparison at every (pool, chunk) + the headline ratio."""
+
+    by_key = {(r["pool"], r["kind"], r["chunk_rows"]): r for r in rows}
+    pools = sorted({r["pool"] for r in rows})
+    chunks = sorted({r["chunk_rows"] for r in rows})
+    pairs = []
+    for pool in pools:
+        for chunk in chunks:
+            dense = by_key.get((pool, "dense", chunk))
+            mmap_row = by_key.get((pool, "mmap", chunk))
+            if dense is None or mmap_row is None:
+                continue
+            identical = dense["scores_checksum"] == mmap_row["scores_checksum"]
+            pairs.append(
+                {
+                    "pool": pool,
+                    "chunk_rows": chunk,
+                    "scores_identical": identical,
+                    "heap_shrink": dense["heap_peak_bytes"] / max(mmap_row["heap_peak_bytes"], 1),
+                    "rss_shrink": dense["peak_rss_bytes"] / max(mmap_row["peak_rss_bytes"], 1),
+                    "score_slowdown": mmap_row["score_seconds"] / max(dense["score_seconds"], 1e-9),
+                }
+            )
+    largest = [p for p in pairs if p["pool"] == pools[-1]]
+    # Heap growth across pool sizes at fixed chunk — the O(chunk) claim: the
+    # mmap heap peak must stay ~flat while the dense one scales with n.
+    smallest_chunk = chunks[0]
+    heap_series = {
+        kind: [by_key[(pool, kind, smallest_chunk)]["heap_peak_bytes"] for pool in pools]
+        for kind in ("dense", "mmap")
+        if all((pool, kind, smallest_chunk) in by_key for pool in pools)
+    }
+    return {
+        "pairs": pairs,
+        "all_scores_identical": all(p["scores_identical"] for p in pairs),
+        "largest_pool": pools[-1],
+        "largest_pool_heap_shrink": max((p["heap_shrink"] for p in largest), default=None),
+        "largest_pool_score_slowdown": max((p["score_slowdown"] for p in largest), default=None),
+        "heap_peak_by_pool": {"pools": pools, "chunk_rows": smallest_chunk, **heap_series},
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--tiny", action="store_true", help="CI-smoke shape (seconds, not minutes)")
+    parser.add_argument("--label", default=None, help="suffix for the BENCH json filename")
+    parser.add_argument("--child", default=None, help=argparse.SUPPRESS)
+    args = parser.parse_args()
+
+    if args.child is not None:
+        child_measure(json.loads(args.child))
+        return 0
+
+    from _utils import bench_payload, write_bench_json
+
+    pools = TINY_POOLS if args.tiny else REFERENCE_POOLS
+    dim = TINY_DIM if args.tiny else REFERENCE_DIM
+    start = time.perf_counter()
+    rows = sweep(pools, dim)
+    summary = summarize(rows)
+
+    payload = bench_payload(
+        "outofcore_pools",
+        wall_clock_seconds=time.perf_counter() - start,
+        shape={"pools": list(pools), "dimension": dim, "num_classes": NUM_CLASSES},
+        chunk_rows=list(CHUNK_ROWS),
+        configurations=rows,
+        summary=summary,
+    )
+    name = "outofcore_pools"
+    if args.tiny:
+        name += "_tiny"
+    if args.label:
+        name += f"_{args.label}"
+    path = write_bench_json(name, payload)
+    print(f"wrote {path}")
+    if not summary["all_scores_identical"]:
+        print("error: dense and mmap score checksums diverged", file=sys.stderr)
+        return 1
+    print(
+        f"largest pool ({summary['largest_pool']}): heap shrink "
+        f"{summary['largest_pool_heap_shrink']:.1f}x, score slowdown "
+        f"{summary['largest_pool_score_slowdown']:.2f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,14 @@ TIMING_FIELDS = (
     "relax_seconds",
 )
 
+#: Scalar fields whose values are bytes (lower is better → report shrink
+#: factor).  ``peak_rss_bytes`` is stamped into every payload by
+#: ``bench_payload``; memory-focused benchmarks add ``heap_peak_bytes``.
+MEMORY_FIELDS = (
+    "peak_rss_bytes",
+    "heap_peak_bytes",
+)
+
 #: Fields that must match for two payloads to be comparable at all.
 IDENTITY_FIELDS = ("bench", "backend", "dtype")
 
@@ -101,6 +109,12 @@ def main() -> int:
         b, a = before.get(field), after.get(field)
         if isinstance(b, (int, float)) and isinstance(a, (int, float)) and a > 0:
             print(f"{field}: {b:.3f}s -> {a:.3f}s  ({b / a:.2f}x)")
+
+    for field in MEMORY_FIELDS:
+        b, a = before.get(field), after.get(field)
+        if isinstance(b, (int, float)) and isinstance(a, (int, float)) and a > 0:
+            mb = 1024 * 1024
+            print(f"{field}: {b / mb:.1f}MB -> {a / mb:.1f}MB  ({b / a:.2f}x)")
 
     timing_dicts = [
         key

@@ -49,6 +49,7 @@ from repro.active import ActiveLearningProblem, run_active_learning, run_trials
 from repro.engine import (
     ActiveSession,
     DensePointStore,
+    MmapPointStore,
     PointStore,
     PoolStore,
     SessionConfig,
@@ -92,6 +93,7 @@ __all__ = [
     "SessionConfig",
     "PoolStore",
     "DensePointStore",
+    "MmapPointStore",
     "PointStore",
     "ShardedPointStore",
     "StreamingPointStore",

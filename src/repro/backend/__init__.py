@@ -36,6 +36,7 @@ from repro.backend.base import (
     DEFAULT_DTYPE,
     default_dtype,
     dtype_policy,
+    round_robin_device_map,
     set_default_dtype,
 )
 from repro.backend.numpy_backend import NumpyBackend
@@ -66,6 +67,7 @@ __all__ = [
     "get_array_module",
     "get_backend",
     "register_backend",
+    "round_robin_device_map",
     "set_backend",
     "set_default_dtype",
     "torch_available",

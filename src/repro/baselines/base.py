@@ -181,6 +181,13 @@ class SelectionContext:
         Rows ``shard_offsets[r] : shard_offsets[r + 1]`` of the pool view
         belong to shard ``r``; multi-rank FIRAL selection scatters along
         these boundaries instead of re-balancing the pool every round.
+    shard_devices:
+        Optional per-shard device strings (one per shard of
+        ``shard_offsets``), present when the session's store pins each
+        shard's compute master to its own device.  Multi-rank FIRAL
+        selection forwards them so each rank promotes its shard on the
+        shard's device; absent (or on single-device backends) ranks use the
+        backend's primary device, the pre-pinning behavior.
     candidate_ids:
         Optional sorted stable ids of this round's **candidate set** — the
         subset of ``pool_ids`` that survived the session's
@@ -202,6 +209,7 @@ class SelectionContext:
     round_index: Optional[int] = None
     prepared_fisher: Optional[FisherDataset] = field(default=None, repr=False)
     shard_offsets: Optional[np.ndarray] = None
+    shard_devices: Optional[tuple] = None
     candidate_ids: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
@@ -231,6 +239,13 @@ class SelectionContext:
                 and int(self.shard_offsets[-1]) == self.pool_features.shape[0]
                 and bool(np.all(np.diff(self.shard_offsets) >= 0)),
                 "shard_offsets must partition the pool view",
+            )
+        if self.shard_devices is not None:
+            self.shard_devices = tuple(str(d) for d in self.shard_devices)
+            require(
+                self.shard_offsets is not None
+                and len(self.shard_devices) == self.shard_offsets.shape[0] - 1,
+                "shard_devices must name one device per shard of shard_offsets",
             )
         self._candidate_positions: Optional[np.ndarray] = None
         if self.candidate_ids is not None:
@@ -677,6 +692,8 @@ class FIRALStrategy(SelectionStrategy):
                 # count; the survivors take the balanced re-split (the same
                 # fallback an empty shard takes).
                 recovery.partition_offsets = None
+                if hasattr(recovery, "rank_devices"):
+                    recovery.rank_devices = None
                 try:
                     result = recovery.select(dataset, context.budget, **kwargs)
                 except CommError as retry_error:
@@ -725,6 +742,12 @@ class FIRALStrategy(SelectionStrategy):
             if offsets is not None and bool(np.any(np.diff(offsets) == 0)):
                 offsets = None
             selector.partition_offsets = offsets
+            if hasattr(selector, "rank_devices"):
+                # Device-pinned sharded store: each rank promotes its shard
+                # on the shard's own device.  The device map only makes sense
+                # together with the matching ownership scatter — when the
+                # offsets fell back to the balanced split, so does placement.
+                selector.rank_devices = context.shard_devices if offsets is not None else None
         result = self._select_with_recovery(selector, dataset, context, kwargs)
         self.last_result = result
         relax = getattr(result, "relax", None)

@@ -18,8 +18,10 @@ Point storage is **pluggable** behind the :class:`PoolStore` protocol
 :class:`ShardedPointStore` partitions the pool id range into per-rank
 contiguous shards feeding the distributed solvers' shard-aware scatter, and
 :class:`StreamingPointStore` grows the master between rounds
-(``extend()``) for pool-replenishment workloads — none of which require
-strategy or solver changes (``SessionConfig.store`` selects the
+(``extend()``) for pool-replenishment workloads, and
+:class:`MmapPointStore` keeps the master on disk (chunked gathers, budgeted
+promotion, streamed scoring) for pools larger than host RAM — none of which
+require strategy or solver changes (``SessionConfig.store`` selects the
 implementation).  A serving workload holds one long-lived session per model.
 
 Candidate scoring is likewise pluggable: a
@@ -39,7 +41,7 @@ from repro.engine.prefilter import (
     make_prefilter,
 )
 from repro.engine.session import ActiveSession, SessionConfig
-from repro.engine.stores import ShardedPointStore, StreamingPointStore
+from repro.engine.stores import MmapPointStore, ShardedPointStore, StreamingPointStore
 
 __all__ = [
     "ActiveSession",
@@ -47,6 +49,7 @@ __all__ = [
     "PoolStore",
     "DensePointStore",
     "PointStore",
+    "MmapPointStore",
     "ShardedPointStore",
     "StreamingPointStore",
     "CandidateFilter",

@@ -46,7 +46,7 @@ import numpy as np
 from repro.backend import Array, get_backend
 from repro.utils.validation import require
 
-__all__ = ["PoolStore", "DensePointStore", "PointStore"]
+__all__ = ["PoolStore", "DensePointStore", "PointStore", "gather_region_compute"]
 
 
 def _to_host(a) -> np.ndarray:
@@ -55,6 +55,40 @@ def _to_host(a) -> np.ndarray:
     if isinstance(a, np.ndarray):
         return a
     return get_backend().to_numpy(a)
+
+
+def gather_region_compute(backend, region_bounds: np.ndarray, ids: np.ndarray, region_gather):
+    """Gather promoted features for ``ids`` from contiguous per-region masters.
+
+    Shared routing core for stores whose compute master is split into
+    contiguous global-id regions (per-shard masters, streaming growth
+    segments): each id is routed to its owning region via one
+    ``searchsorted`` over the ascending ``region_bounds`` (length
+    ``R + 1``), ``region_gather(region, local_ids)`` produces that region's
+    promoted rows **already on the backend's primary device**, and the
+    pieces are concatenated and reordered back to caller order — value-exact
+    relative to a single-master gather.
+
+    Returns ``None`` for empty ``ids`` so callers can supply their own empty
+    view.
+    """
+
+    region = np.searchsorted(region_bounds[1:-1], ids, side="right")
+    pieces, positions = [], []
+    for r in range(len(region_bounds) - 1):
+        sel = np.flatnonzero(region == r)
+        if sel.size == 0:
+            continue
+        local = ids[sel] - int(region_bounds[r])
+        pieces.append(region_gather(r, local))
+        positions.append(sel)
+    if not pieces:
+        return None
+    gathered = pieces[0] if len(pieces) == 1 else backend.xp.concatenate(pieces, axis=0)
+    order = np.concatenate(positions)
+    if bool(np.all(order[:-1] < order[1:])):  # already in caller order
+        return gathered
+    return gathered[backend.from_host(np.argsort(order, kind="stable"))]
 
 
 class PoolStore:
@@ -95,14 +129,35 @@ class PoolStore:
         pool_f = _to_host(pool_features)
         require(init_f.ndim == 2 and pool_f.ndim == 2, "features must be 2-D")
         require(init_f.shape[1] == pool_f.shape[1], "feature dimensions must match")
-        self.features: np.ndarray = np.concatenate([init_f, pool_f], axis=0)
+        self.features: np.ndarray = self._build_master(init_f, pool_f)
         self.labels: np.ndarray = np.concatenate(
             [np.asarray(_to_host(initial_labels), dtype=np.int64),
              np.asarray(_to_host(pool_labels), dtype=np.int64)],
             axis=0,
         )
         require(self.features.shape[0] == self.labels.shape[0], "features and labels must align")
-        self.num_initial = int(init_f.shape[0])
+        self._init_bookkeeping(int(init_f.shape[0]))
+
+    def _build_master(self, init_f: np.ndarray, pool_f: np.ndarray) -> np.ndarray:
+        """Materialize the master feature array (hook for out-of-core stores).
+
+        The base implementation is the one-dense-host-block layout every
+        in-memory store uses; :class:`~repro.engine.stores.MmapPointStore`
+        overrides it to stream both blocks into a disk-backed memmap without
+        ever holding the concatenation in RAM.
+        """
+
+        return np.concatenate([init_f, pool_f], axis=0)
+
+    def _init_bookkeeping(self, num_initial: int) -> None:
+        """Initialize membership/caches over already-set master arrays.
+
+        Factored out of ``__init__`` so alternate constructors
+        (``MmapPointStore.from_file`` reopening an existing master) can skip
+        the array-building half and still get identical bookkeeping.
+        """
+
+        self.num_initial = int(num_initial)
         self.total_points = int(self.features.shape[0])
         self.in_pool = np.zeros(self.total_points, dtype=bool)
         self.in_pool[self.num_initial:] = True
@@ -181,16 +236,16 @@ class PoolStore:
         return self.labels[np.asarray(ids, dtype=np.int64)]
 
     def pool_features_host(self) -> np.ndarray:
-        return self.features[self.pool_ids]
+        return self.features_host(self.pool_ids)
 
     def pool_labels_host(self) -> np.ndarray:
-        return self.labels[self.pool_ids]
+        return self.labels_host(self.pool_ids)
 
     def labeled_features_host(self) -> np.ndarray:
-        return self.features[self.labeled_ids]
+        return self.features_host(self.labeled_ids)
 
     def labeled_labels_host(self) -> np.ndarray:
-        return self.labels[self.labeled_ids]
+        return self.labels_host(self.labeled_ids)
 
     # ------------------------------------------------------------------ #
     # backend-resident compute views

@@ -318,6 +318,18 @@ class ActiveSession:
                 int(num_shards) == int(self.config.parallel_ranks),
                 "a sharded store must have one shard per parallel rank",
             )
+        promotion_budget = getattr(self.store, "promotion_budget_bytes", None)
+        if promotion_budget is not None and (self.config.resident_pool or num_shards is not None):
+            # resident_pool (and per-shard master promotion) would densify the
+            # out-of-core master into compute memory every round — fail at
+            # construction with the store's own descriptive ValueError
+            # instead of silently defeating the mmap store's purpose.
+            self.store._check_promotion_budget(
+                self.store.total_points,
+                "SessionConfig(resident_pool=True)"
+                if self.config.resident_pool
+                else "a sharded/resident session",
+            )
         self.strategy.begin_session(
             SessionInfo(
                 num_classes=problem.num_classes,
@@ -525,10 +537,17 @@ class ActiveSession:
         else:
             labeled_probabilities = self.classifier.predict_proba(labeled_features)
         shard_offsets = None
+        shard_devices = None
         if hasattr(self.store, "pool_shard_offsets"):
             # A sharded store publishes the round's ownership boundaries so
-            # multi-rank selection scatters along them.
+            # multi-rank selection scatters along them — and, when its
+            # masters are device-pinned, the per-shard devices so each rank's
+            # compute view stays on its own accelerator.
             shard_offsets = self.store.pool_shard_offsets()
+            if hasattr(self.store, "shard_devices"):
+                devices = self.store.shard_devices()
+                if devices is not None:
+                    shard_devices = tuple(devices)
         candidate_ids = None
         candidate_positions = None
         if cfg.prefilter is not None:
@@ -546,6 +565,7 @@ class ActiveSession:
                 pool_ids=pool_ids,
                 round_index=self.round_index,
                 shard_offsets=shard_offsets,
+                shard_devices=shard_devices,
             )
             candidate_ids = np.asarray(
                 cfg.prefilter.select_candidates(filter_context, self.rng), dtype=np.int64
@@ -587,6 +607,7 @@ class ActiveSession:
             round_index=self.round_index,
             prepared_fisher=prepared,
             shard_offsets=shard_offsets,
+            shard_devices=shard_devices,
             candidate_ids=candidate_ids,
         )
         setup_seconds = time.perf_counter() - setup_start

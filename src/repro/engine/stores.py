@@ -1,6 +1,6 @@
-"""Sharded and streaming pool stores.
+"""Sharded, streaming and out-of-core pool stores.
 
-Two :class:`~repro.engine.pool.PoolStore` implementations for the scenario
+Three :class:`~repro.engine.pool.PoolStore` implementations for the scenario
 classes the dense store cannot express:
 
 * :class:`ShardedPointStore` — the pool's global id range is partitioned
@@ -12,7 +12,11 @@ classes the dense store cannot express:
   :meth:`ShardedPointStore.pool_shard_offsets` exposes the current
   pool-view partition so a ``SessionConfig.parallel_ranks`` session scatters
   each rank its own shard (see ``partition_pool(offsets=...)``) instead of
-  re-splitting a freshly assembled full pool every round.
+  re-splitting a freshly assembled full pool every round.  Under the torch
+  backend each shard's master can additionally be **pinned to its own
+  device** (``device_map="auto"`` round-robins over the local accelerators;
+  an explicit per-shard device list is also accepted), so gathers and
+  reorders run device-side and only selected rows are shipped to the host.
 * :class:`StreamingPointStore` — the master array is **growable**:
   :meth:`StreamingPointStore.extend` appends replenishment points between
   rounds (the pool-refresh setting of Pinsler et al.'s batch-construction
@@ -20,24 +24,51 @@ classes the dense store cannot express:
   ids never move, so cross-round strategy state keyed by id stays valid, and
   FIRAL's RELAX warm start falls back to a cold start when it meets ids the
   previous solve never weighted (``FIRALStrategy._warm_start_weights``).
+  Promotion is **incremental**: each growth epoch becomes a new compute
+  segment, so an extend promotes only the appended rows instead of
+  re-copying the whole pool to the backend.
+* :class:`MmapPointStore` — the master lives **on disk** as an
+  ``np.memmap``: host views gather chunk-wise, compute promotion is chunked
+  and bounded by an explicit ``promotion_budget_bytes``, and
+  :meth:`MmapPointStore.stream_round_scores` streams the whole pool through
+  ``fused_round_scores`` one block at a time so peak resident memory is
+  O(chunk) instead of O(pool).  The file is self-describing (``.npy``
+  format plus label/meta sidecars), so :meth:`MmapPointStore.from_file`
+  reopens it after a process restart.
 
-Both preserve the full base-class contract, so strategies and solvers run
+All preserve the full base-class contract, so strategies and solvers run
 unchanged on top of them; on a fixed pool (no extends) every store selects
 identically to :class:`~repro.engine.pool.DensePointStore` (test-pinned).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import json
+import os
+import tempfile
+import weakref
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.backend import Array, get_backend
-from repro.engine.pool import PoolStore, _to_host
+from repro.backend import Array, COMPUTE_DTYPE, get_backend, round_robin_device_map
+from repro.engine.pool import PoolStore, _to_host, gather_region_compute
 from repro.parallel.partition import block_partition
 from repro.utils.validation import require
 
-__all__ = ["ShardedPointStore", "StreamingPointStore"]
+__all__ = [
+    "DEFAULT_PROMOTION_BUDGET_BYTES",
+    "MmapPointStore",
+    "ShardedPointStore",
+    "StreamingPointStore",
+]
+
+#: Default cap on how many bytes :meth:`MmapPointStore.compute_features` may
+#: densify into resident compute memory.  An out-of-core store exists because
+#: the pool does *not* fit in RAM — silently promoting it all would defeat
+#: the point, so promotion beyond this budget raises unless the caller
+#: explicitly opts out with ``promotion_budget_bytes=None``.
+DEFAULT_PROMOTION_BUDGET_BYTES = 64 << 20
 
 
 class ShardedPointStore(PoolStore):
@@ -57,12 +88,28 @@ class ShardedPointStore(PoolStore):
         set in the distributed solvers.
     num_shards:
         Number of pool shards; each must be non-empty at construction.
+    device_map:
+        Where each shard's compute master lives. ``None`` (default) keeps
+        every master on the backend's primary device — the single-device
+        behavior, bit-identical on NumPy.  ``"auto"`` round-robins shards
+        over the backend's local devices (multi-GPU under
+        ``REPRO_BACKEND=torch:cuda``; degrades to the primary device on
+        single-device backends).  An explicit sequence of device strings
+        pins shard ``i`` to ``device_map[i]``.  The replicated initial
+        block always stays on the primary device.
     """
 
     kind = "sharded"
 
     def __init__(
-        self, initial_features, initial_labels, pool_features, pool_labels, *, num_shards: int
+        self,
+        initial_features,
+        initial_labels,
+        pool_features,
+        pool_labels,
+        *,
+        num_shards: int,
+        device_map: Optional[Union[str, Sequence[str]]] = None,
     ):
         super().__init__(initial_features, initial_labels, pool_features, pool_labels)
         require(num_shards > 0, "num_shards must be positive")
@@ -72,6 +119,17 @@ class ShardedPointStore(PoolStore):
             f"pool of {pool_total} points cannot be split over {num_shards} shards",
         )
         self.num_shards = int(num_shards)
+        if device_map is not None and not isinstance(device_map, str):
+            device_map = tuple(str(d) for d in device_map)
+            require(
+                len(device_map) == self.num_shards,
+                f"device_map lists {len(device_map)} devices for {self.num_shards} shards",
+            )
+        elif isinstance(device_map, str):
+            require(device_map == "auto", "device_map must be None, 'auto', or a device list")
+        self._device_map_spec = device_map
+        self._resolved_devices: Optional[tuple] = None
+        self._devices_backend = None
         # Global-id boundaries of the compute regions: the initial labeled
         # block, then one contiguous pool range per shard.
         bounds = [0, self.num_initial]
@@ -123,6 +181,40 @@ class ShardedPointStore(PoolStore):
         return np.cumsum(np.concatenate([[0], self.shard_pool_sizes()]), dtype=np.int64)
 
     # ------------------------------------------------------------------ #
+    # device placement
+    # ------------------------------------------------------------------ #
+    def shard_devices(self, backend=None) -> Optional[tuple]:
+        """Resolved per-shard device placement, or ``None`` when unpinned.
+
+        ``"auto"`` resolves against the active backend's local devices on
+        first use (and re-resolves on a backend switch); an explicit map is
+        validated against the backend — asking a NumPy backend for
+        ``"cuda:0"`` fails here, loudly, instead of at gather time.
+        """
+
+        if self._device_map_spec is None:
+            return None
+        backend = backend if backend is not None else get_backend()
+        if self._resolved_devices is None or self._devices_backend is not backend:
+            if self._device_map_spec == "auto":
+                resolved = round_robin_device_map(self.num_shards, backend)
+            else:
+                resolved = tuple(self._device_map_spec)
+                for device in resolved:
+                    backend.for_device(device)  # raises on unplaceable devices
+            self._resolved_devices = resolved
+            self._devices_backend = backend
+        return self._resolved_devices
+
+    def _region_backend(self, region: int, backend):
+        """Backend placing ``region``'s master (primary for the initial block)."""
+
+        devices = self.shard_devices(backend)
+        if devices is None or region == 0:
+            return backend
+        return backend.for_device(devices[region - 1])
+
+    # ------------------------------------------------------------------ #
     # compute views: per-shard masters
     # ------------------------------------------------------------------ #
     def _region_master(self, region: int, backend) -> Array:
@@ -131,24 +223,32 @@ class ShardedPointStore(PoolStore):
                 self._region_masters = [None] * len(self._region_masters)
                 self._compute_backend = backend
             lo, hi = int(self._region_bounds[region]), int(self._region_bounds[region + 1])
-            self._region_masters[region] = backend.ascompute(self.features[lo:hi])
+            self._region_masters[region] = self._region_backend(region, backend).ascompute(
+                self.features[lo:hi]
+            )
         return self._region_masters[region]
 
     def shard_compute_features(self, shard: int) -> Array:
-        """Promoted features of ``shard``'s current pool, from its own master."""
+        """Promoted features of ``shard``'s current pool, from its own master.
+
+        With a ``device_map`` the result lives on the shard's pinned device —
+        the per-rank compute view the distributed solvers consume.
+        """
 
         backend = get_backend()
         lo, _ = self.shard_id_range(shard)
         local = self.shard_pool_ids(shard) - lo
-        return self._region_master(shard + 1, backend)[backend.from_host(local)]
+        region_backend = self._region_backend(shard + 1, backend)
+        return self._region_master(shard + 1, backend)[region_backend.from_host(local)]
 
     def compute_features(self, ids: np.ndarray) -> Array:
         """Promoted features for ``ids``, gathered from the per-shard masters.
 
         No monolithic device copy of the whole master is ever made: each id
         is routed to its owning region (the initial block or one shard), the
-        regions gather locally, and the pieces are concatenated — value-exact
-        relative to a single-master gather.
+        regions gather locally — device-side when the shard is pinned — and
+        only the gathered rows travel to the primary device for
+        concatenation.  Value-exact relative to a single-master gather.
         """
 
         backend = get_backend()
@@ -157,22 +257,16 @@ class ShardedPointStore(PoolStore):
             bool(ids.size == 0 or (ids.min() >= 0 and ids.max() < self.total_points)),
             "id out of range",
         )
-        region = np.searchsorted(self._region_bounds[1:-1], ids, side="right")
-        pieces, positions = [], []
-        for r in range(len(self._region_bounds) - 1):
-            sel = np.flatnonzero(region == r)
-            if sel.size == 0:
-                continue
-            local = ids[sel] - int(self._region_bounds[r])
-            pieces.append(self._region_master(r, backend)[backend.from_host(local)])
-            positions.append(sel)
-        if not pieces:
+
+        def gather(region: int, local: np.ndarray) -> Array:
+            region_backend = self._region_backend(region, backend)
+            piece = self._region_master(region, backend)[region_backend.from_host(local)]
+            return backend.to_device(piece, backend.device)
+
+        out = gather_region_compute(backend, self._region_bounds, ids, gather)
+        if out is None:
             return backend.ascompute(self.features[:0])
-        gathered = pieces[0] if len(pieces) == 1 else backend.xp.concatenate(pieces, axis=0)
-        order = np.concatenate(positions)
-        if bool(np.all(order[:-1] < order[1:])):  # already in caller order
-            return gathered
-        return gathered[backend.from_host(np.argsort(order, kind="stable"))]
+        return out
 
     def _invalidate_compute(self) -> None:
         super()._invalidate_compute()
@@ -182,21 +276,73 @@ class ShardedPointStore(PoolStore):
 class StreamingPointStore(PoolStore):
     """Pool store whose master array grows between rounds.
 
-    :meth:`extend` appends replenishment points under fresh global ids.  The
-    promoted compute master and the pool-id cache are invalidated on growth
-    (the next compute view re-promotes the grown master once); ids assigned
-    before an extend never change, so selections, labeled history and any
-    per-id strategy state remain valid across replenishment.
+    :meth:`extend` appends replenishment points under fresh global ids.  Ids
+    assigned before an extend never change, so selections, labeled history
+    and any per-id strategy state remain valid across replenishment.
+
+    Promotion is **segmented**: every growth epoch (the initial pool, then
+    each extend) is its own compute segment, promoted lazily and exactly
+    once per backend.  An extend therefore promotes only the appended rows —
+    the :attr:`promoted_rows` counter (total rows promoted so far) lets the
+    regression suite pin that growth no longer re-copies the whole pool.
     """
 
     kind = "streaming"
 
+    def __init__(self, initial_features, initial_labels, pool_features, pool_labels):
+        super().__init__(initial_features, initial_labels, pool_features, pool_labels)
+        self._segment_bounds: List[int] = [0, self.total_points]
+        self._segment_masters: List[Optional[Array]] = [None]
+        #: Cumulative count of master rows promoted to compute storage
+        #: (re-promotion after a backend switch counts again).
+        self.promoted_rows = 0
+
+    # ------------------------------------------------------------------ #
+    # compute views: per-epoch segments
+    # ------------------------------------------------------------------ #
+    def _segment_master(self, segment: int, backend) -> Array:
+        if self._compute_backend is not backend:
+            self._segment_masters = [None] * len(self._segment_masters)
+            self._compute_backend = backend
+        if self._segment_masters[segment] is None:
+            lo = self._segment_bounds[segment]
+            hi = self._segment_bounds[segment + 1]
+            self._segment_masters[segment] = backend.ascompute(self.features[lo:hi])
+            self.promoted_rows += hi - lo
+        return self._segment_masters[segment]
+
+    def compute_features(self, ids: np.ndarray) -> Array:
+        backend = get_backend()
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        require(
+            bool(ids.size == 0 or (ids.min() >= 0 and ids.max() < self.total_points)),
+            "id out of range",
+        )
+        bounds = np.asarray(self._segment_bounds, dtype=np.int64)
+        out = gather_region_compute(
+            backend,
+            bounds,
+            ids,
+            lambda seg, local: self._segment_master(seg, backend)[backend.from_host(local)],
+        )
+        if out is None:
+            return backend.ascompute(self.features[:0])
+        return out
+
+    def _invalidate_compute(self) -> None:
+        super()._invalidate_compute()
+        self._segment_masters = [None] * len(self._segment_masters)
+
+    # ------------------------------------------------------------------ #
+    # growth
+    # ------------------------------------------------------------------ #
     def extend(self, features, labels) -> np.ndarray:
         """Append new unlabeled points to the pool; return their global ids.
 
         ``labels`` join the hidden oracle side of the store — they are only
         revealed when :meth:`~repro.engine.pool.PoolStore.label` selects the
-        points.
+        points.  Already-promoted segments stay valid (their rows are
+        unchanged); only the new epoch is promoted on the next compute view.
         """
 
         new_f = _to_host(features)
@@ -213,5 +359,497 @@ class StreamingPointStore(PoolStore):
         self.in_pool = np.concatenate(
             [self.in_pool, np.ones(int(new_f.shape[0]), dtype=bool)]
         )
-        self._invalidate_compute()
+        self._pool_ids_cache = None
+        self._segment_bounds.append(self.total_points)
+        self._segment_masters.append(None)
         return np.arange(old_total, self.total_points, dtype=np.int64)
+
+
+def _unlink_quiet(paths) -> None:
+    for path in paths:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+class MmapPointStore(PoolStore):
+    """Out-of-core pool store: the master array is a disk-backed ``np.memmap``.
+
+    The feature master is written chunk-wise into an ``.npy``-format file at
+    construction and memory-mapped thereafter, so a pool far larger than
+    host RAM still constructs and serves views — the OS pages rows in on
+    access and can reclaim them under pressure.  Labels and membership stay
+    resident (they are O(N), not O(N·d)), persisted in sidecar files
+    (``<path>.labels.npy``, ``<path>.meta.json``) so the store survives a
+    process restart via :meth:`from_file`.
+
+    Host views gather in ``chunk_rows`` blocks; compute promotion is chunked
+    too and guarded by ``promotion_budget_bytes`` — promoting more than the
+    budget raises instead of silently densifying the out-of-core pool.  The
+    full-pool scoring path never densifies at all:
+    :meth:`stream_round_scores` (and the mapped master behind it,
+    :meth:`mapped_compute_features`) streams blocks from disk through
+    ``fused_round_scores``, keeping peak resident memory O(chunk).
+
+    Parameters
+    ----------
+    path:
+        Backing file for the master.  ``None`` (default) creates a temp file
+        that is removed when the store is garbage-collected; an explicit
+        path persists and enables :meth:`from_file` reopening.
+    chunk_rows:
+        Row block size for chunked gathers, promotion, spills and streamed
+        scoring.
+    promotion_budget_bytes:
+        Cap on resident compute-dtype bytes a single promotion may allocate
+        (default 64 MiB); ``None`` removes the guard.
+    advise_dontneed:
+        When true, gathers and streamed scoring drop the mapped pages from
+        the process after use (``madvise(MADV_DONTNEED)``), bounding RSS at
+        the cost of re-faulting pages on the next pass.
+    """
+
+    kind = "mmap"
+
+    def __init__(
+        self,
+        initial_features,
+        initial_labels,
+        pool_features,
+        pool_labels,
+        *,
+        path: Optional[str] = None,
+        chunk_rows: int = 2048,
+        promotion_budget_bytes: Optional[int] = DEFAULT_PROMOTION_BUDGET_BYTES,
+        advise_dontneed: bool = False,
+    ):
+        require(chunk_rows > 0, "chunk_rows must be positive")
+        self._chunk_rows = int(chunk_rows)
+        self.promotion_budget_bytes = (
+            None if promotion_budget_bytes is None else int(promotion_budget_bytes)
+        )
+        self.advise_dontneed = bool(advise_dontneed)
+        self._owns_file = path is None
+        self._path = self._new_temp_path() if path is None else os.fspath(path)
+        self._mapped_compute: Optional[np.memmap] = None
+        self._finalizer = None
+        super().__init__(initial_features, initial_labels, pool_features, pool_labels)
+        self._write_sidecars()
+        if self._owns_file:
+            self._finalizer = weakref.finalize(self, _unlink_quiet, self._cleanup_paths())
+
+    # ------------------------------------------------------------------ #
+    # construction / persistence
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _new_temp_path() -> str:
+        fd, path = tempfile.mkstemp(prefix="repro_pool_", suffix=".npy")
+        os.close(fd)
+        return path
+
+    @property
+    def path(self) -> str:
+        """Backing file of the feature master."""
+
+        return self._path
+
+    def _labels_path(self) -> str:
+        return self._path + ".labels.npy"
+
+    def _meta_path(self) -> str:
+        return self._path + ".meta.json"
+
+    def _mapped_path(self) -> str:
+        return self._path + ".f64.npy"
+
+    def _cleanup_paths(self) -> tuple:
+        return (
+            self._path,
+            self._labels_path(),
+            self._meta_path(),
+            self._mapped_path(),
+            self._path + ".grow.tmp",
+            self._mapped_path() + ".tmp",
+        )
+
+    def _build_master(self, init_f: np.ndarray, pool_f: np.ndarray) -> np.ndarray:
+        # Same dtype rule as np.concatenate, so values round-trip through the
+        # file bit-identically to the dense store's in-memory master.
+        dtype = np.result_type(init_f.dtype, pool_f.dtype)
+        total = int(init_f.shape[0]) + int(pool_f.shape[0])
+        master = np.lib.format.open_memmap(
+            self._path, mode="w+", dtype=dtype, shape=(total, int(init_f.shape[1]))
+        )
+        row = 0
+        for block in (init_f, pool_f):
+            rows = int(block.shape[0])
+            for lo in range(0, rows, self._chunk_rows):
+                hi = min(lo + self._chunk_rows, rows)
+                master[row + lo:row + hi] = block[lo:hi]
+            row += rows
+        master.flush()
+        return master
+
+    def _write_sidecars(self) -> None:
+        np.save(self._labels_path(), self.labels)
+        tmp = self._meta_path() + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "format": 1,
+                    "num_initial": int(self.num_initial),
+                    "total_points": int(self.total_points),
+                },
+                fh,
+            )
+        os.replace(tmp, self._meta_path())
+
+    @classmethod
+    def from_arrays(
+        cls,
+        features,
+        labels,
+        num_initial: int,
+        *,
+        path: Optional[str] = None,
+        chunk_rows: int = 2048,
+        promotion_budget_bytes: Optional[int] = DEFAULT_PROMOTION_BUDGET_BYTES,
+        advise_dontneed: bool = False,
+    ) -> "MmapPointStore":
+        """Build a store from one ``(features, labels)`` block.
+
+        The first ``num_initial`` rows form the initially labeled block; the
+        rest become the pool.  The blocks are passed as views, so the master
+        spill is the only full copy made.
+        """
+
+        f = _to_host(features)
+        y = _to_host(labels)
+        require(f.ndim == 2, "features must be 2-D")
+        require(0 <= int(num_initial) <= int(f.shape[0]), "num_initial out of range")
+        m0 = int(num_initial)
+        return cls(
+            f[:m0],
+            y[:m0],
+            f[m0:],
+            y[m0:],
+            path=path,
+            chunk_rows=chunk_rows,
+            promotion_budget_bytes=promotion_budget_bytes,
+            advise_dontneed=advise_dontneed,
+        )
+
+    @classmethod
+    def from_blocks(
+        cls,
+        blocks,
+        num_rows: int,
+        *,
+        num_initial: int = 0,
+        path: Optional[str] = None,
+        chunk_rows: int = 2048,
+        promotion_budget_bytes: Optional[int] = DEFAULT_PROMOTION_BUDGET_BYTES,
+        advise_dontneed: bool = False,
+    ) -> "MmapPointStore":
+        """Build a store from an iterator of ``(features, labels)`` blocks.
+
+        The fully out-of-core constructor: each block is written into the
+        master file as it is produced and (with ``advise_dontneed``) its
+        pages dropped immediately, so peak resident memory is one block —
+        the master never exists in RAM even transiently, unlike
+        :meth:`from_arrays`.  ``num_rows`` fixes the total up front (the
+        ``.npy`` header needs the final shape); the blocks must cover it
+        exactly.  The first ``num_initial`` rows form the initially labeled
+        block.
+        """
+
+        require(chunk_rows > 0, "chunk_rows must be positive")
+        require(int(num_rows) >= 0, "num_rows must be non-negative")
+        require(0 <= int(num_initial) <= int(num_rows), "num_initial out of range")
+        store = cls.__new__(cls)
+        store._chunk_rows = int(chunk_rows)
+        store.promotion_budget_bytes = (
+            None if promotion_budget_bytes is None else int(promotion_budget_bytes)
+        )
+        store.advise_dontneed = bool(advise_dontneed)
+        store._owns_file = path is None
+        store._path = cls._new_temp_path() if path is None else os.fspath(path)
+        store._mapped_compute = None
+        store._finalizer = None
+
+        label_parts = []
+        row = 0
+        for feats, labs in blocks:
+            f = _to_host(feats)
+            require(f.ndim == 2, "feature blocks must be 2-D")
+            if row == 0:
+                store.features = np.lib.format.open_memmap(
+                    store._path, mode="w+", dtype=f.dtype, shape=(int(num_rows), int(f.shape[1]))
+                )
+            rows = int(f.shape[0])
+            require(row + rows <= int(num_rows), "blocks exceed num_rows")
+            store.features[row:row + rows] = f
+            label_parts.append(np.asarray(_to_host(labs), dtype=np.int64))
+            row += rows
+            if store.advise_dontneed:
+                store.release_mapped_pages()
+        require(row == int(num_rows), "blocks must cover exactly num_rows rows")
+        if row == 0:  # degenerate empty store still needs a mapped master
+            store.features = np.lib.format.open_memmap(
+                store._path, mode="w+", dtype=np.float64, shape=(0, 0)
+            )
+        store.features.flush()
+        store.labels = (
+            np.concatenate(label_parts, axis=0) if label_parts else np.zeros(0, dtype=np.int64)
+        )
+        require(
+            int(store.labels.shape[0]) == int(num_rows), "label blocks must cover num_rows rows"
+        )
+        store._init_bookkeeping(int(num_initial))
+        store._write_sidecars()
+        if store._owns_file:
+            store._finalizer = weakref.finalize(store, _unlink_quiet, store._cleanup_paths())
+        return store
+
+    @classmethod
+    def from_file(
+        cls,
+        path,
+        *,
+        mode: str = "r+",
+        chunk_rows: int = 2048,
+        promotion_budget_bytes: Optional[int] = DEFAULT_PROMOTION_BUDGET_BYTES,
+        advise_dontneed: bool = False,
+    ) -> "MmapPointStore":
+        """Reopen a persisted store (e.g. after a process restart).
+
+        Maps the existing master file and reads the label/meta sidecars; no
+        feature data is copied.  Membership starts fresh (everything past
+        the initial block in the pool) — pair with
+        :meth:`~repro.engine.pool.PoolStore.restore_membership` or
+        ``ActiveSession.resume`` to recover an acquisition history.
+        """
+
+        require(chunk_rows > 0, "chunk_rows must be positive")
+        store = cls.__new__(cls)
+        store._chunk_rows = int(chunk_rows)
+        store.promotion_budget_bytes = (
+            None if promotion_budget_bytes is None else int(promotion_budget_bytes)
+        )
+        store.advise_dontneed = bool(advise_dontneed)
+        store._owns_file = False
+        store._path = os.fspath(path)
+        store._mapped_compute = None
+        store._finalizer = None
+        store.features = np.load(store._path, mmap_mode=mode)
+        require(store.features.ndim == 2, "mapped master must be 2-D")
+        with open(store._meta_path(), encoding="utf-8") as fh:
+            meta = json.load(fh)
+        store.labels = np.load(store._labels_path())
+        require(
+            int(store.labels.shape[0]) == int(store.features.shape[0]),
+            "label sidecar does not match the mapped master",
+        )
+        store._init_bookkeeping(int(meta["num_initial"]))
+        return store
+
+    # ------------------------------------------------------------------ #
+    # chunked host views
+    # ------------------------------------------------------------------ #
+    def features_host(self, ids: np.ndarray) -> np.ndarray:
+        """Host features for ``ids``, gathered from disk in ``chunk_rows`` blocks."""
+
+        ids_arr = np.asarray(ids, dtype=np.int64)
+        if ids_arr.ndim != 1:
+            return np.asarray(self.features[ids_arr])
+        out = np.empty((int(ids_arr.shape[0]), self.dimension), dtype=self.features.dtype)
+        for lo in range(0, int(ids_arr.shape[0]), self._chunk_rows):
+            hi = min(lo + self._chunk_rows, int(ids_arr.shape[0]))
+            out[lo:hi] = self.features[ids_arr[lo:hi]]
+        if self.advise_dontneed:
+            self.release_mapped_pages()
+        return out
+
+    # ------------------------------------------------------------------ #
+    # budgeted compute promotion
+    # ------------------------------------------------------------------ #
+    def promotion_cost_bytes(self, num_rows: int) -> int:
+        """Resident bytes a compute-dtype promotion of ``num_rows`` rows costs."""
+
+        return int(num_rows) * self.dimension * np.dtype(COMPUTE_DTYPE).itemsize
+
+    def _check_promotion_budget(self, num_rows: int, what: str) -> None:
+        if self.promotion_budget_bytes is None:
+            return
+        needed = self.promotion_cost_bytes(num_rows)
+        if needed > self.promotion_budget_bytes:
+            raise ValueError(
+                f"{what} would densify {int(num_rows)} rows of the mmap-backed pool "
+                f"({needed / 2**20:.1f} MiB promoted to compute dtype), exceeding this "
+                f"store's promotion_budget_bytes={self.promotion_budget_bytes} "
+                f"({self.promotion_budget_bytes / 2**20:.1f} MiB). Raise the budget, "
+                "pass promotion_budget_bytes=None to allow densification, keep "
+                "resident_pool=False, or stream via mapped_compute_features() / "
+                "stream_round_scores() instead."
+            )
+
+    def compute_features(self, ids: np.ndarray) -> Array:
+        """Promoted features for ``ids`` — chunked gather, budget-guarded.
+
+        No full promoted master is ever cached (that is exactly the
+        densification an out-of-core store exists to avoid); each call
+        gathers and promotes just the requested rows, in ``chunk_rows``
+        blocks, and ships one compute-dtype array to the backend.
+        """
+
+        backend = get_backend()
+        ids_arr = np.asarray(ids, dtype=np.int64).ravel()
+        self._check_promotion_budget(int(ids_arr.size), "compute_features")
+        host = np.empty((int(ids_arr.size), self.dimension), dtype=COMPUTE_DTYPE)
+        for lo in range(0, int(ids_arr.size), self._chunk_rows):
+            hi = min(lo + self._chunk_rows, int(ids_arr.size))
+            host[lo:hi] = self.features[ids_arr[lo:hi]]
+        if self.advise_dontneed:
+            self.release_mapped_pages()
+        return backend.from_host(host)
+
+    # ------------------------------------------------------------------ #
+    # streamed full-pool scoring
+    # ------------------------------------------------------------------ #
+    def mapped_compute_features(self) -> np.memmap:
+        """Compute-dtype view of **all** rows as a read-only memmap.
+
+        When storage is already compute dtype the master file itself is
+        remapped read-only; otherwise a compute-dtype sidecar is spilled
+        chunk-wise next to the master (once per growth epoch) and mapped.
+        Slices of the result feed straight into ``fused_round_scores`` — its
+        ``score_chunk_size`` loop then streams the pool from disk without a
+        resident copy.
+        """
+
+        if self._mapped_compute is not None:
+            return self._mapped_compute
+        if self.features.dtype == np.dtype(COMPUTE_DTYPE):
+            self._mapped_compute = np.load(self._path, mmap_mode="r")
+            return self._mapped_compute
+        tmp = self._mapped_path() + ".tmp"
+        sidecar = np.lib.format.open_memmap(
+            tmp, mode="w+", dtype=COMPUTE_DTYPE, shape=(self.total_points, self.dimension)
+        )
+        for lo in range(0, self.total_points, self._chunk_rows):
+            hi = min(lo + self._chunk_rows, self.total_points)
+            sidecar[lo:hi] = self.features[lo:hi]
+        sidecar.flush()
+        del sidecar
+        os.replace(tmp, self._mapped_path())
+        self._mapped_compute = np.load(self._mapped_path(), mmap_mode="r")
+        return self._mapped_compute
+
+    def release_mapped_pages(self) -> None:
+        """Drop the mapped masters' resident pages (``madvise(MADV_DONTNEED)``).
+
+        Dirty master pages are flushed first; the data stays intact on disk
+        and re-faults on the next access.  A no-op on platforms without
+        ``madvise``.
+        """
+
+        import mmap as _mmap
+
+        if isinstance(self.features, np.memmap):
+            self.features.flush()
+        for arr in (self.features, self._mapped_compute):
+            raw = getattr(arr, "_mmap", None)
+            if raw is None:
+                continue
+            try:
+                raw.madvise(_mmap.MADV_DONTNEED)
+            except (AttributeError, ValueError, OSError):  # pragma: no cover
+                pass
+
+    def stream_round_scores(
+        self, a_inverse, middle, gammas, eta: float, *, block_rows: Optional[int] = None, out=None
+    ) -> np.ndarray:
+        """Prop. 4 ROUND scores for **every** stored point, streamed from disk.
+
+        Equivalent to one ``fused_round_scores`` call over a resident
+        promoted master with ``chunk_size=block_rows``, but each block is
+        materialized from the mapped master, scored, written into the host
+        result, and (with ``advise_dontneed``) dropped from RSS — peak
+        resident memory is O(block · d), not O(pool · d).
+        """
+
+        from repro.linalg.sherman_morrison import fused_round_scores
+
+        backend = get_backend()
+        X = self.mapped_compute_features()
+        n = int(X.shape[0])
+        block = self._chunk_rows if block_rows is None else int(block_rows)
+        require(block > 0, "block_rows must be positive")
+        gam = np.asarray(_to_host(gammas))
+        require(int(gam.shape[0]) == n, "gammas must cover every stored point")
+        scores = np.empty(n, dtype=COMPUTE_DTYPE) if out is None else out
+        for lo in range(0, n, block):
+            hi = min(lo + block, n)
+            chunk = fused_round_scores(
+                a_inverse,
+                middle,
+                backend.ascompute(np.asarray(X[lo:hi])),
+                backend.ascompute(gam[lo:hi]),
+                eta,
+            )
+            scores[lo:hi] = backend.to_numpy(chunk)
+            if self.advise_dontneed:
+                self.release_mapped_pages()
+        return scores
+
+    # ------------------------------------------------------------------ #
+    # atomic spill growth
+    # ------------------------------------------------------------------ #
+    def extend(self, features, labels) -> np.ndarray:
+        """Append new unlabeled points via an atomic spill of the master file.
+
+        The grown master is written chunk-wise to ``<path>.grow.tmp`` and
+        swapped in with ``os.replace`` — a crash mid-spill leaves the old
+        master intact.  New rows are cast to the existing storage dtype.
+        Returns the appended points' global ids.
+        """
+
+        new_f = _to_host(features)
+        new_y = np.asarray(_to_host(labels), dtype=np.int64).ravel()
+        require(new_f.ndim == 2, "features must be 2-D")
+        require(new_f.shape[0] > 0, "extend requires at least one point")
+        require(int(new_f.shape[1]) == self.dimension, "feature dimensions must match")
+        require(int(new_f.shape[0]) == int(new_y.shape[0]), "features and labels must align")
+
+        old_total = self.total_points
+        added = int(new_f.shape[0])
+        tmp = self._path + ".grow.tmp"
+        grown = np.lib.format.open_memmap(
+            tmp, mode="w+", dtype=self.features.dtype, shape=(old_total + added, self.dimension)
+        )
+        for lo in range(0, old_total, self._chunk_rows):
+            hi = min(lo + self._chunk_rows, old_total)
+            grown[lo:hi] = self.features[lo:hi]
+        for lo in range(0, added, self._chunk_rows):
+            hi = min(lo + self._chunk_rows, added)
+            grown[old_total + lo:old_total + hi] = new_f[lo:hi]
+        grown.flush()
+        del grown
+        os.replace(tmp, self._path)
+        self.features = np.load(self._path, mmap_mode="r+")
+        self.labels = np.concatenate([self.labels, new_y], axis=0)
+        self.total_points = old_total + added
+        self.in_pool = np.concatenate([self.in_pool, np.ones(added, dtype=bool)])
+        self._invalidate_compute()
+        self._write_sidecars()
+        return np.arange(old_total, self.total_points, dtype=np.int64)
+
+    def _invalidate_compute(self) -> None:
+        super()._invalidate_compute()
+        self._mapped_compute = None
+        if self.features.dtype != np.dtype(COMPUTE_DTYPE):
+            try:
+                os.unlink(self._mapped_path())
+            except OSError:
+                pass

@@ -37,6 +37,7 @@ from repro.parallel.comm import (
     CommError,
     CommProtocolError,
     CommunicationLog,
+    HostStagedComm,
     SharedMemoryComm,
     SimulatedComm,
     create_communicators,
@@ -69,6 +70,7 @@ __all__ = [
     "FaultInjectingComm",
     "FaultInjectingEntry",
     "FaultPlan",
+    "HostStagedComm",
     "InjectedFaultError",
     "RankFailedError",
     "SPMD_ATTEMPT_ENV",

@@ -32,7 +32,7 @@ identical accounting on both transports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 import numpy as np  # host-side timing/bookkeeping only; array math uses the backend
 
@@ -48,9 +48,11 @@ from repro.parallel.comm import Comm, CommunicationLog
 from repro.parallel.launcher import (
     ComponentTimers,
     collective_log,
+    enter_rank_device,
     merge_component_seconds,
     run_spmd,
     ship_array,
+    validate_rank_devices,
 )
 from repro.parallel.partition import partition_pool
 from repro.utils.random import as_generator
@@ -110,6 +112,9 @@ class RelaxRankSpec:
     budget: int
     config: RelaxConfig
     labeled_block_cache: Optional[Array] = None
+    #: Device the rank pins its shard and local math to (``devices=`` on the
+    #: driver); ``None`` keeps the backend's default placement.
+    device: Optional[str] = None
 
 
 @dataclass
@@ -131,9 +136,17 @@ def relax_rank_main(comm: Comm, spec: RelaxRankSpec) -> RelaxRankOutput:
     the transports validate this with sequence numbers and collective tags.
     Replicated state (probes, CG iterates, the preconditioner) is bit-identical
     across ranks because every rank computes it from identical allreduced
-    inputs with identical arithmetic.
+    inputs with identical arithmetic.  A pinned ``spec.device`` keeps the
+    shard and all local math on that device (collectives host-staged); on a
+    host backend the pinned run is bit-identical to the unpinned one.
     """
 
+    with get_backend().device_context(spec.device):
+        comm, spec = enter_rank_device(comm, spec)
+        return _relax_rank_body(comm, spec)
+
+
+def _relax_rank_body(comm: Comm, spec: RelaxRankSpec) -> RelaxRankOutput:
     cfg = spec.config
     budget = int(spec.budget)
     backend = get_backend()
@@ -307,6 +320,7 @@ def distributed_relax(
     timeout: float = 120.0,
     offsets: Optional[np.ndarray] = None,
     fault_plan=None,
+    devices: Optional[Sequence[str]] = None,
 ) -> DistributedRelaxResult:
     """Run Algorithm 2 over ``num_ranks`` ranks of the chosen transport.
 
@@ -315,7 +329,10 @@ def distributed_relax(
     :func:`repro.parallel.partition.partition_pool`.  ``fault_plan`` wraps
     every rank's communicator in a
     :class:`~repro.parallel.faults.FaultInjectingComm` firing the plan — the
-    chaos-testing hook the recovery tests and benchmarks use.
+    chaos-testing hook the recovery tests and benchmarks use.  ``devices``
+    pins each rank's shard and local math to the named device (one entry
+    per rank); collectives are then staged through the host, and on host
+    backends the pinned run is bit-identical to the unpinned one.
 
     Numerically equivalent (up to reduction order) to
     :func:`repro.core.approx_relax.approx_relax` with the same configuration,
@@ -335,6 +352,7 @@ def distributed_relax(
         "distributed_relax does not track the objective; use track_objective='none'",
     )
     backend = get_backend()
+    devices = validate_rank_devices(devices, num_ranks)
 
     shards = partition_pool(dataset, num_ranks, offsets=offsets)
     z0 = initial_simplex_iterate(dataset.num_pool, initial_weights)
@@ -357,6 +375,7 @@ def distributed_relax(
                 labeled_block_cache=(
                     ship_array(backend, cache_blocks, transport) if cache_blocks is not None else None
                 ),
+                device=None if devices is None else devices[len(specs)],
             )
         )
         start = stop

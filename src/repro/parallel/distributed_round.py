@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np  # host-side timing/offset bookkeeping only
 
@@ -53,9 +53,11 @@ from repro.parallel.comm import Comm, CommunicationLog
 from repro.parallel.launcher import (
     ComponentTimers,
     collective_log,
+    enter_rank_device,
     merge_component_seconds,
     run_spmd,
     ship_array,
+    validate_rank_devices,
 )
 from repro.parallel.partition import block_partition, partition_pool, pool_offsets
 from repro.utils.validation import require
@@ -122,6 +124,9 @@ class RoundRankSpec:
     config: RoundConfig
     labeled_block_cache: Optional[Array] = None
     eta_grid: Optional[Tuple[float, ...]] = None
+    #: Device the rank pins its shard and local math to (``devices=`` on the
+    #: drivers); ``None`` keeps the backend's default placement.
+    device: Optional[str] = None
 
 
 @dataclass
@@ -310,9 +315,12 @@ def _local_selection_blocks(comm: Comm, state: _RoundRankState, selected: np.nda
 def round_rank_main(comm: Comm, spec: RoundRankSpec) -> RoundRankOutput:
     """SPMD body of Algorithm 3 for one rank, at the spec's fixed η."""
 
-    timers = ComponentTimers(_ROUND_COMPONENTS[:-1])
-    state = _RoundRankState(comm, spec, timers)
-    selected = _select_with_eta(comm, state, float(spec.eta), timers)
+    backend = get_backend()
+    with backend.device_context(spec.device):
+        comm, spec = enter_rank_device(comm, spec)
+        timers = ComponentTimers(_ROUND_COMPONENTS[:-1])
+        state = _RoundRankState(comm, spec, timers)
+        selected = _select_with_eta(comm, state, float(spec.eta), timers)
     return RoundRankOutput(
         rank=comm.rank,
         selected_indices=selected,
@@ -335,23 +343,26 @@ def round_search_rank_main(comm: Comm, spec: RoundRankSpec) -> RoundSearchRankOu
     """
 
     require(spec.eta_grid is not None and len(spec.eta_grid) > 0, "eta grid must not be empty")
-    timers = ComponentTimers(_ROUND_COMPONENTS)
-    state = _RoundRankState(comm, spec, timers)
+    backend = get_backend()
+    with backend.device_context(spec.device):
+        comm, spec = enter_rank_device(comm, spec)
+        timers = ComponentTimers(_ROUND_COMPONENTS)
+        state = _RoundRankState(comm, spec, timers)
 
-    best_selected: Optional[np.ndarray] = None
-    best_eta = float(spec.eta_grid[0])
-    best_score = -math.inf
-    for eta in spec.eta_grid:
-        selected = _select_with_eta(comm, state, float(eta), timers)
-        with timers.timed("eta_scoring"):
-            partial = _local_selection_blocks(comm, state, selected)
-        blocks = comm.allreduce(partial)
-        with timers.timed("eta_scoring"):
-            score = BlockDiagonalMatrix(blocks, copy=False).min_eigenvalue()
-        if score > best_score:
-            best_score = float(score)
-            best_eta = float(eta)
-            best_selected = selected
+        best_selected: Optional[np.ndarray] = None
+        best_eta = float(spec.eta_grid[0])
+        best_score = -math.inf
+        for eta in spec.eta_grid:
+            selected = _select_with_eta(comm, state, float(eta), timers)
+            with timers.timed("eta_scoring"):
+                partial = _local_selection_blocks(comm, state, selected)
+            blocks = comm.allreduce(partial)
+            with timers.timed("eta_scoring"):
+                score = BlockDiagonalMatrix(blocks, copy=False).min_eigenvalue()
+            if score > best_score:
+                best_score = float(score)
+                best_eta = float(eta)
+                best_selected = selected
 
     assert best_selected is not None
     return RoundSearchRankOutput(
@@ -397,10 +408,12 @@ def _build_rank_specs(
     transport: str,
     offsets: Optional[np.ndarray],
     eta_grid: Optional[Tuple[float, ...]] = None,
+    devices: Optional[Sequence[str]] = None,
 ) -> List[RoundRankSpec]:
     """Partition the pool and assemble one picklable spec per rank."""
 
     backend = get_backend()
+    devices = validate_rank_devices(devices, num_ranks)
     shards = partition_pool(dataset, num_ranks, offsets=offsets)
     offsets = pool_offsets(dataset.num_pool, num_ranks, offsets)
     cache_blocks = (
@@ -424,9 +437,12 @@ def _build_rank_specs(
                     ship_array(backend, cache_blocks, transport) if cache_blocks is not None else None
                 ),
                 eta_grid=eta_grid,
+                device=None if devices is None else devices[rank],
             )
         )
     return specs
+
+
 
 
 def distributed_round(
@@ -441,6 +457,7 @@ def distributed_round(
     timeout: float = 120.0,
     offsets: Optional[np.ndarray] = None,
     fault_plan=None,
+    devices: Optional[Sequence[str]] = None,
 ) -> DistributedRoundResult:
     """Run Algorithm 3 over ``num_ranks`` ranks of the chosen transport.
 
@@ -449,7 +466,11 @@ def distributed_round(
     the collective-communication pattern; ties in the global argmax resolve
     to the lowest rank on every transport (MPI ``MAXLOC`` semantics).
     ``offsets`` overrides the balanced pool split with explicit shard
-    boundaries (a sharded pool store's ownership table).
+    boundaries (a sharded pool store's ownership table).  ``devices`` pins
+    each rank's shard and local math to the named device (one entry per
+    rank, e.g. ``round_robin_device_map``'s output); collectives are then
+    staged through the host, and on host backends the pinned run is
+    bit-identical to the unpinned one.
     """
 
     require(budget > 0, "budget must be positive")
@@ -462,7 +483,7 @@ def distributed_round(
     require(tuple(z_relaxed.shape) == (dataset.num_pool,), "z_relaxed must match the pool size")
 
     specs = _build_rank_specs(
-        dataset, z_relaxed, budget, eta, cfg, num_ranks, transport, offsets
+        dataset, z_relaxed, budget, eta, cfg, num_ranks, transport, offsets, devices=devices
     )
     outputs = run_spmd(
         _wrap_entry(round_rank_main, fault_plan),
@@ -499,6 +520,7 @@ def distributed_round_search(
     timeout: float = 120.0,
     offsets: Optional[np.ndarray] = None,
     fault_plan=None,
+    devices: Optional[Sequence[str]] = None,
 ) -> Tuple[DistributedRoundResult, float]:
     """Run the § IV-A η grid search inside **one** ``run_spmd`` launch.
 
@@ -529,7 +551,8 @@ def distributed_round_search(
     require(tuple(z_relaxed.shape) == (dataset.num_pool,), "z_relaxed must match the pool size")
 
     specs = _build_rank_specs(
-        dataset, z_relaxed, budget, grid[0], cfg, num_ranks, transport, offsets, eta_grid=grid
+        dataset, z_relaxed, budget, grid[0], cfg, num_ranks, transport, offsets,
+        eta_grid=grid, devices=devices,
     )
     outputs = run_spmd(
         _wrap_entry(round_search_rank_main, fault_plan),
