@@ -1,0 +1,231 @@
+"""Serving-layer load benchmark: multi-tenant throughput and propose latency.
+
+The ISSUE-9 acceptance benchmark.  ``repro.serve`` puts the session engine
+behind an asyncio service — per-session locks, a bounded worker pool for the
+CPU-heavy η-search/ROUND halves, admission control, request batching — and
+this benchmark measures what that costs and buys under load:
+
+* **per-level load test** — at each concurrency level (1 / 8 / 32 tenant
+  sessions by default) every tenant runs its full lifecycle (open, then
+  ``rounds`` propose/observe round trips, then close) through one shared
+  :class:`~repro.serve.SessionManager`; the payload records sessions/sec,
+  rounds/sec, and client-observed propose latency (p50/p90/p99 — queueing on
+  the worker pool included, exactly what a labeler would feel);
+* **serving overhead** — the concurrency-1 level is directly comparable to
+  the same session driven without the service (also recorded, as
+  ``direct_baseline``), so the async/locking/executor tax is a number, not a
+  guess;
+* the ``stats`` counters (batches, admission rejections, checkpoints) are
+  carried so a payload documents *how* the service ran, not just how fast.
+
+The batching window is a knob (``--batch-window``): CI runs the tiny shape
+with and without it and lands the ``compare.py`` table in the step summary.
+
+Run as a script:
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --label local   # committed payload
+    PYTHONPATH=src python benchmarks/bench_serving.py --tiny          # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import time
+
+import numpy as np
+
+from repro.baselines.base import FIRALStrategy
+from repro.core.config import RelaxConfig, RoundConfig
+from repro.core.firal import ApproxFIRAL
+from repro.datasets.registry import build_problem
+from repro.engine.session import ActiveSession
+from repro.serve import ServeConfig, SessionManager, SessionSpec
+
+from _utils import bench_payload, write_bench_json
+
+#: The serving shape: the paper's selector (Approx-FIRAL with the § IV-A η
+#: grid) on a small CIFAR-10 slice — per-round cost is real solver work
+#: (RELAX + η grid + ROUND), so worker-pool scheduling is measured against
+#: meaningful compute, while one round stays fast enough that 32 tenants
+#: finish in minutes.
+SHAPE = {"dataset": "cifar10", "scale": 0.1, "rounds": 3, "budget": 5}
+TINY_SHAPE = {"dataset": "cifar10", "scale": 0.05, "rounds": 2, "budget": 5}
+
+CONCURRENCY_LEVELS = (1, 8, 32)
+TINY_LEVELS = (1, 4)
+
+
+def make_strategy() -> FIRALStrategy:
+    return FIRALStrategy(
+        ApproxFIRAL(
+            RelaxConfig(max_iterations=10, seed=0, reuse_buffers=True), RoundConfig()
+        )
+    )
+
+
+def make_spec(problem, shape: dict, seed: int) -> SessionSpec:
+    return SessionSpec(
+        problem=problem,
+        strategy_factory=make_strategy,
+        budget_per_round=shape["budget"],
+        num_rounds=shape["rounds"],
+        seed=seed,
+    )
+
+
+def percentiles(samples) -> dict:
+    values = np.asarray(samples, dtype=np.float64)
+    return {
+        "count": int(values.size),
+        "mean": float(values.mean()),
+        "p50": float(np.percentile(values, 50)),
+        "p90": float(np.percentile(values, 90)),
+        "p99": float(np.percentile(values, 99)),
+        "max": float(values.max()),
+    }
+
+
+def run_direct_baseline(problem, shape: dict) -> dict:
+    """One session driven without the service — the overhead reference."""
+
+    session = ActiveSession(
+        problem,
+        make_strategy(),
+        budget_per_round=shape["budget"],
+        num_rounds=shape["rounds"],
+        seed=0,
+    )
+    propose_latency = []
+    start = time.perf_counter()
+    for _ in range(shape["rounds"]):
+        tick = time.perf_counter()
+        session.propose()
+        propose_latency.append(time.perf_counter() - tick)
+        session.observe()
+    wall = time.perf_counter() - start
+    return {
+        "wall_clock_seconds": wall,
+        "rounds_per_second": shape["rounds"] / wall,
+        "propose_latency_seconds": percentiles(propose_latency),
+    }
+
+
+async def run_level(problem, shape: dict, concurrency: int, serve_config: ServeConfig) -> dict:
+    """Full lifecycles for ``concurrency`` tenants through one manager."""
+
+    manager = SessionManager(serve_config)
+    propose_latency = []
+    observe_latency = []
+
+    async def tenant(index: int) -> None:
+        session_id = f"tenant-{index}"
+        await manager.open_session(session_id, make_spec(problem, shape, seed=index))
+        for _ in range(shape["rounds"]):
+            tick = time.perf_counter()
+            await manager.propose(session_id)
+            propose_latency.append(time.perf_counter() - tick)
+            tick = time.perf_counter()
+            await manager.observe(session_id)
+            observe_latency.append(time.perf_counter() - tick)
+        await manager.close_session(session_id, checkpoint=False)
+
+    start = time.perf_counter()
+    try:
+        await asyncio.gather(*(tenant(i) for i in range(concurrency)))
+        wall = time.perf_counter() - start
+    finally:
+        await manager.aclose(checkpoint=False)
+    total_rounds = concurrency * shape["rounds"]
+    return {
+        "concurrency": concurrency,
+        "wall_clock_seconds": wall,
+        "sessions_per_second": concurrency / wall,
+        "rounds_per_second": total_rounds / wall,
+        "propose_latency_seconds": percentiles(propose_latency),
+        "observe_latency_seconds": percentiles(observe_latency),
+        "stats": dict(manager.stats),
+    }
+
+
+def run(shape: dict, levels, *, workers: int, batch_window: float) -> dict:
+    problem = build_problem(shape["dataset"], scale=shape["scale"], seed=0)
+    serve_config = ServeConfig(
+        max_sessions=max(levels) + 1,
+        max_workers=workers,
+        batch_window_seconds=batch_window,
+    )
+    direct = run_direct_baseline(problem, shape)
+    level_results = [
+        asyncio.run(run_level(problem, shape, concurrency, serve_config))
+        for concurrency in levels
+    ]
+    single = level_results[0]
+    return {
+        "shape": dict(shape),
+        "pool_size": problem.pool_size,
+        "workers": workers,
+        "batch_window_seconds": batch_window,
+        "direct_baseline": direct,
+        "levels": level_results,
+        # The async/locking/executor tax at concurrency 1 — the honest
+        # measure of what wrapping the engine in a service costs one tenant.
+        "serving_overhead_vs_direct": single["wall_clock_seconds"]
+        / max(direct["wall_clock_seconds"], 1e-12),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--tiny", action="store_true", help="CI-smoke shape (seconds, not minutes)")
+    parser.add_argument("--label", default=None, help="suffix for the BENCH json filename")
+    parser.add_argument("--workers", type=int, default=4, help="worker-pool size")
+    parser.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.0,
+        help="request-batching window in seconds (0 dispatches immediately)",
+    )
+    parser.add_argument(
+        "--levels",
+        type=int,
+        nargs="+",
+        default=None,
+        help="concurrency levels to sweep (default: 1 8 32, tiny: 1 4)",
+    )
+    args = parser.parse_args()
+
+    shape = TINY_SHAPE if args.tiny else SHAPE
+    levels = tuple(args.levels) if args.levels else (TINY_LEVELS if args.tiny else CONCURRENCY_LEVELS)
+
+    start = time.perf_counter()
+    results = run(shape, levels, workers=args.workers, batch_window=args.batch_window)
+    total = time.perf_counter() - start
+
+    payload = bench_payload("serving", wall_clock_seconds=total, **results)
+    name = "serving"
+    if args.tiny:
+        name += "_tiny"
+    if args.label:
+        name += f"_{args.label}"
+    path = write_bench_json(name, payload)
+    print(f"wrote {path}")
+    direct = results["direct_baseline"]
+    print(
+        f"direct baseline: {direct['wall_clock_seconds']:.3f}s, "
+        f"p50 propose {direct['propose_latency_seconds']['p50'] * 1e3:.1f}ms"
+    )
+    print(f"serving overhead at concurrency 1: {results['serving_overhead_vs_direct']:.2f}x")
+    for level in results["levels"]:
+        latency = level["propose_latency_seconds"]
+        print(
+            f"concurrency {level['concurrency']:>3}: "
+            f"{level['sessions_per_second']:.2f} sessions/s, "
+            f"{level['rounds_per_second']:.2f} rounds/s, "
+            f"propose p50 {latency['p50'] * 1e3:.1f}ms "
+            f"p99 {latency['p99'] * 1e3:.1f}ms"
+        )
+
+
+if __name__ == "__main__":
+    main()

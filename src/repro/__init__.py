@@ -50,14 +50,21 @@ from repro.engine import (
     ActiveSession,
     DensePointStore,
     MmapPointStore,
-    PointStore,
     PoolStore,
+    QueryProposal,
     SessionConfig,
     ShardedPointStore,
     StreamingPointStore,
 )
 
 __version__ = "1.0.0"
+
+#: The curated top-level surface.  Two groups resolve lazily through
+#: ``__getattr__`` below: the serving layer (``SessionManager`` /
+#: ``AsyncSessionClient`` / ``ServeConfig`` / ``SessionSpec`` — kept out of
+#: the eager import so ``import repro`` stays cheap for batch scripts), and
+#: the deprecated ``PointStore`` alias (touching it warns).
+_SERVE_EXPORTS = ("SessionManager", "AsyncSessionClient", "ServeConfig", "SessionSpec")
 
 __all__ = [
     "__version__",
@@ -91,10 +98,27 @@ __all__ = [
     "run_trials",
     "ActiveSession",
     "SessionConfig",
+    "QueryProposal",
     "PoolStore",
     "DensePointStore",
     "MmapPointStore",
     "PointStore",
     "ShardedPointStore",
     "StreamingPointStore",
+    "SessionManager",
+    "AsyncSessionClient",
+    "ServeConfig",
+    "SessionSpec",
 ]
+
+
+def __getattr__(name: str):
+    if name in _SERVE_EXPORTS:
+        from repro import serve
+
+        return getattr(serve, name)
+    if name == "PointStore":
+        from repro.engine import pool
+
+        return pool.PointStore  # deprecated alias — pool warns on access
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -794,10 +794,22 @@ class FIRALStrategy(SelectionStrategy):
         return state
 
     def load_state_dict(self, state: dict) -> None:
+        """Restore checkpointed state — a *full* restore, not a merge.
+
+        Keys absent from ``state`` reset the corresponding field: the
+        session engine rolls a live strategy back to a pre-proposal
+        boundary with this hook (``ActiveSession.invalidate_proposal``), so
+        state acquired after the snapshot must not survive the load.
+        """
+
         if "previous_ids" in state and "previous_weights" in state:
             self._previous = (
                 np.asarray(state["previous_ids"], dtype=np.int64),
                 np.asarray(state["previous_weights"], dtype=np.float64),
             )
+        else:
+            self._previous = None
         if state.get("previous_eta") is not None:
             self._previous_eta = float(state["previous_eta"])
+        else:
+            self._previous_eta = None

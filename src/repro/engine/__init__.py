@@ -32,7 +32,7 @@ shortlist — cutting the O(n)-per-round RELAX/ROUND cost to the keep ratio
 (see :mod:`repro.engine.prefilter` and ``benchmarks/bench_prefilter.py``).
 """
 
-from repro.engine.pool import DensePointStore, PointStore, PoolStore
+from repro.engine.pool import DensePointStore, PoolStore
 from repro.engine.prefilter import (
     CandidateFilter,
     DiversityFilter,
@@ -40,12 +40,16 @@ from repro.engine.prefilter import (
     TopKScoreFilter,
     make_prefilter,
 )
-from repro.engine.session import ActiveSession, SessionConfig
+from repro.engine.session import ActiveSession, QueryProposal, SessionConfig
 from repro.engine.stores import MmapPointStore, ShardedPointStore, StreamingPointStore
 
+#: The curated public surface of the engine layer.  ``PointStore`` stays
+#: listed but resolves lazily through ``__getattr__`` below — touching the
+#: legacy name emits a ``DeprecationWarning`` without taxing ``import repro``.
 __all__ = [
     "ActiveSession",
     "SessionConfig",
+    "QueryProposal",
     "PoolStore",
     "DensePointStore",
     "PointStore",
@@ -58,3 +62,11 @@ __all__ = [
     "TopKScoreFilter",
     "make_prefilter",
 ]
+
+
+def __getattr__(name: str):
+    if name == "PointStore":
+        from repro.engine import pool
+
+        return pool.PointStore  # deprecated alias — pool warns on access
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -275,6 +275,26 @@ class PoolStore:
     # ------------------------------------------------------------------ #
     # labeling
     # ------------------------------------------------------------------ #
+    def provide_labels(self, ids: np.ndarray, labels: np.ndarray) -> None:
+        """Overwrite the oracle labels of global ``ids`` with external answers.
+
+        The serving path: a remote labeler answers a
+        :class:`~repro.engine.session.QueryProposal`, and the session writes
+        those answers into the label master *before* :meth:`label` reveals
+        them — so retraining, pool accuracy and checkpoints all see the
+        external labels.  Benchmarks and tests, whose stores are built with
+        synthetic oracle columns, never need this.
+        """
+
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        provided = np.asarray(labels, dtype=np.int64).ravel()
+        require(ids.size == provided.size, "one label per id is required")
+        require(
+            bool(ids.size == 0 or (int(ids.min()) >= 0 and int(ids.max()) < self.total_points)),
+            "label id out of range for this store",
+        )
+        self.labels[ids] = provided
+
     def label(self, pool_indices: np.ndarray):
         """Reveal the labels of pool-view rows ``pool_indices``.
 
@@ -344,6 +364,20 @@ class DensePointStore(PoolStore):
     kind = "dense"
 
 
-#: Historical name of the dense store, kept as a true alias so existing
-#: imports, isinstance checks and pickles keep working unchanged.
-PointStore = DensePointStore
+def __getattr__(name: str):
+    # Historical name of the dense store.  Still a true alias (isinstance
+    # checks and pickles keep working — the object *is* DensePointStore),
+    # but the import path is deprecated: resolving it lazily through PEP 562
+    # lets us warn exactly when legacy code touches the old name without
+    # taxing `import repro` itself.
+    if name == "PointStore":
+        import warnings
+
+        warnings.warn(
+            "repro.engine.pool.PointStore is a deprecated alias of "
+            "DensePointStore; import DensePointStore instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return DensePointStore
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -32,6 +32,28 @@ default configuration the session reproduces the legacy
 backend (test-pinned in ``tests/test_engine_session.py``) — the legacy
 function is now a thin wrapper over this class.
 
+The half-round protocol
+-----------------------
+A selection round decomposes into two halves with a natural wait in the
+middle: the engine *proposes* a query set, an oracle labels it (a human, a
+remote service, or the prefilled synthetic labels), and the engine
+*observes* the labels.  :meth:`ActiveSession.propose` runs the first half
+and returns a :class:`QueryProposal`; :meth:`ActiveSession.observe`
+consumes the pending proposal — with the store's built-in oracle labels by
+default, or with externally supplied ones — and completes the round.
+:meth:`ActiveSession.step` is kept as the bit-identical composition of the
+two (``propose(); observe()``), so synchronous drivers are untouched while
+a serving layer (:mod:`repro.serve`) can hold a proposal open for as long
+as a remote labeler needs.  While a proposal is pending the session is
+frozen at the pre-proposal boundary for checkpointing purposes: a
+:meth:`ActiveSession.checkpoint` taken mid-proposal records the state *as
+of* :meth:`propose` entry plus a ``pending_proposal`` marker, and
+:meth:`ActiveSession.resume` surfaces that marker as
+:attr:`ActiveSession.invalidated_proposal` — the proposal is invalidated,
+never silently dropped, and re-calling :meth:`propose` on the restored
+session replays it bit-identically (unless the pool was extended first, in
+which case the replay legitimately sees the new points).
+
 Numerics of the opt-in modes
 ----------------------------
 ``resident_pool`` only changes *where* arrays live (promotion is
@@ -52,6 +74,7 @@ precedent).
 
 from __future__ import annotations
 
+import copy
 import pathlib
 import time
 from dataclasses import dataclass
@@ -74,7 +97,50 @@ from repro.utils.io import atomic_write_json, read_json
 from repro.utils.random import as_generator
 from repro.utils.validation import require
 
-__all__ = ["SessionConfig", "ActiveSession"]
+__all__ = ["SessionConfig", "ActiveSession", "QueryProposal"]
+
+#: Transports :class:`SessionConfig.parallel_transport` accepts (see
+#: :mod:`repro.parallel.launcher`).
+VALID_TRANSPORTS = ("simulated", "shared_memory")
+
+
+@dataclass(frozen=True)
+class QueryProposal:
+    """One proposed query set — the first half of a selection round.
+
+    Returned by :meth:`ActiveSession.propose` and held open until
+    :meth:`ActiveSession.observe` completes the round.  The proposal is a
+    value object: mutating the session (extending the pool, observing) while
+    it is pending is either forbidden or invalidates it explicitly.
+
+    Attributes
+    ----------
+    round_index:
+        0-based index of the round this proposal belongs to (the round is
+        not counted complete until ``observe``).
+    pool_indices:
+        The strategy's selection as positions in the round's pool view, in
+        selection order.
+    global_ids:
+        Stable point ids of the same selection (what an external labeler
+        should key its labels by).
+    num_labeled:
+        Labeled-set size at proposal time (before these points are labeled).
+    budget:
+        Number of points proposed (``len(global_ids)``).
+    setup_seconds / selection_seconds:
+        The round's driver-side setup cost and the strategy's ``select``
+        wall clock, carried into the eventual
+        :class:`~repro.active.results.RoundRecord`.
+    """
+
+    round_index: int
+    pool_indices: np.ndarray
+    global_ids: np.ndarray
+    num_labeled: int
+    budget: int
+    setup_seconds: float
+    selection_seconds: float
 
 
 @dataclass
@@ -213,6 +279,65 @@ class SessionConfig:
 
         return cls(reuse_eta=True, resident_pool=True)
 
+    def validate(self) -> "SessionConfig":
+        """Check every field value and cross-field requirement in one place.
+
+        :class:`ActiveSession` calls this at construction (the checks used to
+        be scattered across ``__init__`` / store building / strategy start);
+        it can also be called directly to vet a config before a session —
+        e.g. by a serving layer at admission time, before any expensive
+        session state exists.  Every rejection is a ``ValueError`` naming the
+        offending field.  Returns ``self`` so call sites can chain.
+        """
+
+        if self.parallel_ranks is not None:
+            require(
+                int(self.parallel_ranks) > 0,
+                f"SessionConfig.parallel_ranks must be positive (got {self.parallel_ranks!r})",
+            )
+            require(
+                self.parallel_transport in VALID_TRANSPORTS,
+                f"SessionConfig.parallel_transport must be one of {VALID_TRANSPORTS} "
+                f"(got {self.parallel_transport!r})",
+            )
+        if self.fisher_refresh_every is not None:
+            require(
+                int(self.fisher_refresh_every) > 0,
+                "SessionConfig.fisher_refresh_every must be positive "
+                f"(got {self.fisher_refresh_every!r})",
+            )
+            require(
+                self.incremental_fisher,
+                "SessionConfig.fisher_refresh_every only applies with incremental_fisher=True",
+            )
+        if self.prefilter is not None:
+            require(
+                hasattr(self.prefilter, "select_candidates"),
+                "SessionConfig.prefilter must implement "
+                "CandidateFilter.select_candidates(context, rng) "
+                f"(got {type(self.prefilter).__name__!r})",
+            )
+        require(
+            self.on_rank_failure in ("abort", "repartition_retry"),
+            "SessionConfig.on_rank_failure must be 'abort' or 'repartition_retry' "
+            f"(got {self.on_rank_failure!r})",
+        )
+        if self.fault_plan is not None:
+            require(
+                self.parallel_ranks is not None,
+                "SessionConfig.fault_plan requires parallel_ranks",
+            )
+        if self.checkpoint_every is not None:
+            require(
+                int(self.checkpoint_every) > 0,
+                f"SessionConfig.checkpoint_every must be positive (got {self.checkpoint_every!r})",
+            )
+            require(
+                self.checkpoint_path is not None,
+                "SessionConfig.checkpoint_every requires checkpoint_path",
+            )
+        return self
+
 
 class ActiveSession:
     """One active-learning run with state persisted across rounds.
@@ -262,7 +387,7 @@ class ActiveSession:
                 "total budget exceeds the pool size",
             )
         self.problem = problem
-        self.config = config or SessionConfig()
+        self.config = (config or SessionConfig()).validate()
         self.budget_per_round = int(budget_per_round)
         self.planned_rounds = None if num_rounds is None else int(num_rounds)
         self.store = self._build_store(problem, self.config)
@@ -280,38 +405,12 @@ class ActiveSession:
         self._initial_recorded = False
         self._accumulator: Optional[LabeledFisherAccumulator] = None
         self._frozen_probs: Optional[np.ndarray] = None
+        self._pending: Optional[dict] = None
+        #: Set by :meth:`resume` when the checkpoint carried a pending
+        #: proposal: ``{"round_index", "global_ids", "num_labeled"}``.  The
+        #: proposal itself is invalidated — call :meth:`propose` to replay it.
+        self.invalidated_proposal: Optional[dict] = None
 
-        if self.config.parallel_ranks is not None:
-            require(self.config.parallel_ranks > 0, "parallel_ranks must be positive")
-        if self.config.fisher_refresh_every is not None:
-            require(
-                self.config.fisher_refresh_every > 0, "fisher_refresh_every must be positive"
-            )
-            require(
-                self.config.incremental_fisher,
-                "fisher_refresh_every only applies with incremental_fisher=True",
-            )
-        if self.config.prefilter is not None:
-            require(
-                hasattr(self.config.prefilter, "select_candidates"),
-                "SessionConfig.prefilter must implement "
-                "CandidateFilter.select_candidates(context, rng)",
-            )
-        require(
-            self.config.on_rank_failure in ("abort", "repartition_retry"),
-            "on_rank_failure must be 'abort' or 'repartition_retry'",
-        )
-        if self.config.fault_plan is not None:
-            require(
-                self.config.parallel_ranks is not None,
-                "SessionConfig.fault_plan requires parallel_ranks",
-            )
-        if self.config.checkpoint_every is not None:
-            require(self.config.checkpoint_every > 0, "checkpoint_every must be positive")
-            require(
-                self.config.checkpoint_path is not None,
-                "checkpoint_every requires checkpoint_path",
-            )
         num_shards = getattr(self.store, "num_shards", None)
         if num_shards is not None and self.config.parallel_ranks is not None:
             require(
@@ -504,20 +603,101 @@ class ActiveSession:
         """
 
         require(
+            self._pending is None,
+            "cannot extend the pool while a proposal is pending — "
+            "observe() or invalidate_proposal() first",
+        )
+        require(
             hasattr(self.store, "extend"),
             f"the session's '{self.store.kind}' store cannot grow; "
             "configure SessionConfig(store=StreamingPointStore.from_problem)",
         )
         return self.store.extend(features, labels)
 
-    def step(self) -> RoundRecord:
-        """Run one selection round: select, reveal labels, retrain, record."""
+    # ------------------------------------------------------------------ #
+    # the half-round protocol: propose / observe (step composes the two)
+    # ------------------------------------------------------------------ #
+    @property
+    def pending_proposal(self) -> Optional[QueryProposal]:
+        """The open :class:`QueryProposal`, or ``None`` at a round boundary."""
+
+        return None if self._pending is None else self._pending["proposal"]
+
+    def _capture_boundary(self) -> dict:
+        """Snapshot the pre-proposal round boundary.
+
+        Everything :meth:`propose` mutates before the round completes — the
+        RNG stream (prefilter + stochastic strategies draw from it), the
+        strategy's cross-round state, and under ``incremental_fisher`` the
+        accumulator it may refresh.  A checkpoint taken while the proposal
+        is open writes *this* state, so the restored session replays the
+        proposal bit-identically instead of double-drawing.
+        """
+
+        state_hook = getattr(self.strategy, "state_dict", None)
+        boundary = {
+            "rng_state": copy.deepcopy(self.rng.bit_generator.state),
+            "strategy_state": state_hook() if callable(state_hook) else {},
+        }
+        if self.config.incremental_fisher:
+            assert self._accumulator is not None and self._frozen_probs is not None
+            boundary["fisher"] = (
+                self._frozen_probs.copy(),
+                self._accumulator.state_dict(),
+            )
+        return boundary
+
+    def _restore_boundary(self, boundary: dict) -> None:
+        """Roll live session state back to a :meth:`_capture_boundary` snapshot."""
+
+        self.rng.bit_generator.state = copy.deepcopy(boundary["rng_state"])
+        load_hook = getattr(self.strategy, "load_state_dict", None)
+        if callable(load_hook):
+            load_hook(boundary["strategy_state"])
+        if self.config.incremental_fisher:
+            assert self._accumulator is not None
+            frozen_probs, accumulator_state = boundary["fisher"]
+            self._frozen_probs = frozen_probs.copy()
+            self._accumulator.load_state_dict(accumulator_state)
+
+    def invalidate_proposal(self) -> QueryProposal:
+        """Discard the pending proposal and roll back to the round boundary.
+
+        The serving layer's escape hatch: a labeler that disappears
+        mid-round must not wedge the session.  The RNG stream, strategy
+        state and Fisher accumulator return to their pre-:meth:`propose`
+        values, so the next :meth:`propose` replays the round bit-identically
+        (or legitimately differently, if :meth:`extend_pool` ran in
+        between).  Returns the discarded proposal so callers can log it —
+        an invalidation is always explicit, never a silent drop.
+        """
+
+        require(self._pending is not None, "no pending proposal to invalidate")
+        pending = self._pending
+        self._restore_boundary(pending["boundary"])
+        self._pending = None
+        return pending["proposal"]
+
+    def propose(self) -> QueryProposal:
+        """Run the first half of a round: assemble the view, select a query set.
+
+        Holds the proposal open (:attr:`pending_proposal`) until
+        :meth:`observe` supplies labels or :meth:`invalidate_proposal`
+        discards it; proposing again while one is open is an error, as is
+        extending the pool.  Exactly the pre-selection half of the historic
+        ``step()`` — :meth:`step` is now literally ``propose(); observe()``.
+        """
 
         cfg = self.config
+        require(
+            self._pending is None,
+            "a proposal is already pending — observe() or invalidate_proposal() first",
+        )
         require(
             self.budget_per_round <= self.store.pool_size,
             "budget exceeds the remaining pool",
         )
+        boundary = self._capture_boundary()
 
         setup_start = time.perf_counter()
         if (
@@ -613,32 +793,98 @@ class ActiveSession:
         setup_seconds = time.perf_counter() - setup_start
 
         start = time.perf_counter()
-        selected = np.asarray(self.strategy.select(context), dtype=np.int64)
+        selected = np.asarray(self.strategy.select(context), dtype=np.int64).ravel()
         selection_seconds = time.perf_counter() - start
 
+        require(
+            bool(np.all((selected >= 0) & (selected < pool_ids.size))),
+            "strategy returned out-of-range pool indices",
+        )
+        proposal = QueryProposal(
+            round_index=self.round_index,
+            pool_indices=selected,
+            global_ids=pool_ids[selected],
+            num_labeled=self.store.num_labeled,
+            budget=int(selected.size),
+            setup_seconds=setup_seconds,
+            selection_seconds=selection_seconds,
+        )
+        self._pending = {
+            "proposal": proposal,
+            # The classifier probabilities of the proposed rows, captured at
+            # proposal time — observe() needs them for the incremental-Fisher
+            # update and must not recompute them (the classifier only
+            # retrains *after* the labels land).
+            "selected_probabilities": pool_probabilities[selected],
+            "boundary": boundary,
+        }
+        return proposal
+
+    def observe(self, labels=None) -> RoundRecord:
+        """Complete the pending round: reveal labels, retrain, record.
+
+        With ``labels=None`` the store's built-in oracle column answers —
+        the historic ``step()`` behavior, bit-identical.  A serving workload
+        passes the external labeler's answers instead (aligned with the
+        pending proposal's ``global_ids`` order); they are written into the
+        store's label master before membership flips, so every later view
+        (retraining, pool accuracy, checkpoints) sees them.
+        """
+
+        cfg = self.config
+        require(self._pending is not None, "no pending proposal — call propose() first")
+        pending = self._pending
+        proposal: QueryProposal = pending["proposal"]
+        selected = proposal.pool_indices
+        if labels is not None:
+            provided = np.asarray(labels, dtype=np.int64).ravel()
+            require(
+                provided.size == proposal.budget,
+                f"observe() got {provided.size} labels for a proposal of "
+                f"{proposal.budget} points",
+            )
+            require(
+                bool(np.all((provided >= 0) & (provided < self.problem.num_classes))),
+                f"labels must lie in [0, {self.problem.num_classes})",
+            )
+            self.store.provide_labels(proposal.global_ids, provided)
+
         # Oracle labeling: flip membership bits, reveal labels.
-        global_ids, labels = self.store.label(selected)
+        global_ids, revealed = self.store.label(selected)
         self.strategy.observe_labels(
             LabelObservation(
-                round_index=self.round_index,
+                round_index=proposal.round_index,
                 pool_indices=selected,
                 global_ids=global_ids,
-                labels=labels,
+                labels=revealed,
             )
         )
         if cfg.incremental_fisher:
             assert self._accumulator is not None and self._frozen_probs is not None
-            new_probs = pool_probabilities[selected]
+            new_probs = pending["selected_probabilities"]
             self._accumulator.add(
                 self.store.features_host(global_ids), reduced_probabilities(new_probs)
             )
             self._frozen_probs = np.concatenate([self._frozen_probs, new_probs], axis=0)
 
         self._fit()
-        record = self._evaluate(setup_seconds, selection_seconds)
+        record = self._evaluate(proposal.setup_seconds, proposal.selection_seconds)
         self.result.records.append(record)
         self.round_index += 1
+        self._pending = None
         return record
+
+    def step(self) -> RoundRecord:
+        """Run one full selection round: select, reveal labels, retrain, record.
+
+        A thin composition of :meth:`propose` and :meth:`observe` — the two
+        halves are the old monolithic body split at the labeling boundary,
+        so this is bit-identical to the pre-split ``step()`` (test-pinned
+        for every strategy in ``tests/test_engine_propose_observe.py``).
+        """
+
+        self.propose()
+        return self.observe()
 
     def run(
         self, num_rounds: Optional[int] = None, *, record_initial: bool = True
@@ -698,6 +944,12 @@ class ActiveSession:
         and the write goes through a temp file + ``os.replace``, so a crash
         mid-write leaves the previous checkpoint intact rather than a
         truncated file.
+
+        Checkpointing **while a proposal is pending** is allowed: the
+        payload then describes the pre-proposal round boundary plus a
+        ``pending_proposal`` marker, which :meth:`resume` surfaces as
+        :attr:`invalidated_proposal` (see the module docstring's half-round
+        protocol section).
         """
 
         target = path if path is not None else self.config.checkpoint_path
@@ -717,30 +969,56 @@ class ActiveSession:
             extension = np.arange(self._base_total, self.store.total_points, dtype=np.int64)
             store_section["extension_features"] = self.store.features_host(extension).tolist()
             store_section["extension_labels"] = self.store.labels_host(extension).tolist()
+        # While a proposal is open, the checkpoint must describe the
+        # *pre-proposal* round boundary (the RNG, strategy state and Fisher
+        # accumulator have already advanced past it inside propose()); the
+        # proposal itself is recorded as a marker, not as resumable state —
+        # resume() invalidates it and the caller re-proposes.
+        pending = self._pending
+        if pending is not None:
+            boundary = pending["boundary"]
+            rng_state = copy.deepcopy(boundary["rng_state"])
+            strategy_state = boundary["strategy_state"]
+            frozen_probs, accumulator_state = boundary.get("fisher", (None, None))
+        else:
+            state_hook = getattr(self.strategy, "state_dict", None)
+            rng_state = self.rng.bit_generator.state
+            strategy_state = state_hook() if callable(state_hook) else {}
+            if self.config.incremental_fisher:
+                assert self._accumulator is not None and self._frozen_probs is not None
+                frozen_probs = self._frozen_probs
+                accumulator_state = self._accumulator.state_dict()
+            else:
+                frozen_probs, accumulator_state = None, None
         fisher_section = None
         if self.config.incremental_fisher:
-            assert self._accumulator is not None and self._frozen_probs is not None
             fisher_section = {
-                "frozen_probs": np.asarray(self._frozen_probs, dtype=np.float64).tolist(),
-                "accumulator": self._accumulator.state_dict(),
+                "frozen_probs": np.asarray(frozen_probs, dtype=np.float64).tolist(),
+                "accumulator": accumulator_state,
             }
-        state_hook = getattr(self.strategy, "state_dict", None)
         payload = {
             "format_version": self.CHECKPOINT_FORMAT_VERSION,
             "round_index": int(self.round_index),
             "budget_per_round": int(self.budget_per_round),
             "planned_rounds": self.planned_rounds,
             "initial_recorded": bool(self._initial_recorded),
-            "rng_state": self.rng.bit_generator.state,
+            "rng_state": rng_state,
             "result": self.result.to_dict(),
             "config": self._config_fingerprint(),
             "store": store_section,
             "fisher": fisher_section,
             "strategy": {
                 "name": self.strategy.name,
-                "state": state_hook() if callable(state_hook) else {},
+                "state": strategy_state,
             },
         }
+        if pending is not None:
+            proposal: QueryProposal = pending["proposal"]
+            payload["pending_proposal"] = {
+                "round_index": int(proposal.round_index),
+                "global_ids": [int(i) for i in proposal.global_ids],
+                "num_labeled": int(proposal.num_labeled),
+            }
         return atomic_write_json(target, payload)
 
     @classmethod
@@ -837,4 +1115,16 @@ class ActiveSession:
         load_hook = getattr(session.strategy, "load_state_dict", None)
         if callable(load_hook):
             load_hook(strategy_section.get("state", {}))
+        pending_section = payload.get("pending_proposal")
+        if pending_section is not None:
+            # The checkpoint was taken mid-proposal.  The checkpointed state
+            # is the pre-proposal boundary, so the proposal is *invalidated*
+            # — surfaced here, never silently dropped — and the caller
+            # re-proposes: bit-identical to the original when the pool is
+            # unchanged, legitimately different after extend_pool.
+            session.invalidated_proposal = {
+                "round_index": int(pending_section["round_index"]),
+                "global_ids": np.asarray(pending_section["global_ids"], dtype=np.int64),
+                "num_labeled": int(pending_section["num_labeled"]),
+            }
         return session

@@ -803,6 +803,14 @@ class MmapPointStore(PoolStore):
                 self.release_mapped_pages()
         return scores
 
+    def provide_labels(self, ids, labels) -> None:
+        # Externally supplied labels must survive a process restart the same
+        # way extend()-appended rows do: refresh the label sidecar so
+        # from_file() reopens the answered labels, not the stale oracle
+        # column.
+        super().provide_labels(ids, labels)
+        self._write_sidecars()
+
     # ------------------------------------------------------------------ #
     # atomic spill growth
     # ------------------------------------------------------------------ #

@@ -1,0 +1,32 @@
+"""Serving layer: asyncio multi-tenant session service over propose/observe.
+
+See :mod:`repro.serve.service` for the service itself (admission control,
+request batching, worker pool, checkpoint policies) and
+:mod:`repro.serve.http` for the optional stdlib-only HTTP front.
+"""
+
+from repro.serve.http import HttpFrontend
+from repro.serve.service import (
+    AdmissionError,
+    AsyncSessionClient,
+    ProtocolError,
+    ServeConfig,
+    ServeError,
+    SessionExistsError,
+    SessionManager,
+    SessionNotFoundError,
+    SessionSpec,
+)
+
+__all__ = [
+    "SessionManager",
+    "AsyncSessionClient",
+    "ServeConfig",
+    "SessionSpec",
+    "HttpFrontend",
+    "ServeError",
+    "AdmissionError",
+    "ProtocolError",
+    "SessionExistsError",
+    "SessionNotFoundError",
+]

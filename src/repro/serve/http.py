@@ -1,0 +1,198 @@
+"""Thin stdlib-only HTTP/1.1 front over :class:`~repro.serve.service.SessionManager`.
+
+One :func:`asyncio.start_server` loop, JSON bodies, ``Connection: close``
+per request — deliberately minimal: the service's real surface is the
+in-process :class:`~repro.serve.service.AsyncSessionClient`, and this front
+exists so a labeler on the other side of a socket (a notebook, a curl
+one-liner, a labeling UI) can drive the same propose/observe protocol with
+the same payloads.  No framework, no dependency: the request parser handles
+exactly what the routes below need.
+
+Routes
+------
+``GET  /healthz``                       service liveness + serving counters
+``GET  /sessions``                      ids of live sessions
+``GET  /sessions/{sid}``                one session's info payload
+``POST /sessions/{sid}/open``           body ``{"spec": <registered name>}``
+``POST /sessions/{sid}/propose``        body ``{"include_features": bool}`` (optional)
+``POST /sessions/{sid}/observe``        body ``{"labels": [...]}`` (optional)
+``POST /sessions/{sid}/close``          body ``{"checkpoint": bool}`` (optional)
+
+Status mapping: protocol misuse → 409, admission rejection → 503, unknown
+session/spec/route → 404, malformed request → 400, anything else → 500.
+
+Sessions are opened against **registered specs**: the operator constructs
+:class:`~repro.serve.service.SessionSpec` objects server-side (they hold
+live problem/factory objects, which do not belong on the wire) and clients
+select one by name.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.serve.service import (
+    AdmissionError,
+    AsyncSessionClient,
+    ProtocolError,
+    SessionExistsError,
+    SessionManager,
+    SessionNotFoundError,
+    SessionSpec,
+)
+
+__all__ = ["HttpFrontend"]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    409: "Conflict",
+    503: "Service Unavailable",
+    500: "Internal Server Error",
+}
+
+#: Request bodies are tiny JSON documents (labels for one round at most);
+#: anything bigger is a client error, not a payload to buffer.
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class HttpFrontend:
+    """Serve a :class:`SessionManager` over a minimal HTTP/1.1 endpoint."""
+
+    def __init__(self, manager: SessionManager, specs: Optional[Dict[str, SessionSpec]] = None):
+        self.manager = manager
+        self.client = AsyncSessionClient(manager)
+        #: Named session templates clients may open (see the module docstring).
+        self.specs: Dict[str, SessionSpec] = dict(specs or {})
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    def register_spec(self, name: str, spec: SessionSpec) -> None:
+        self.specs[name] = spec
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Bind and serve; ``port=0`` picks an ephemeral port (returned)."""
+
+        self._server = await asyncio.start_server(self._handle, host=host, port=port)
+        bound = self._server.sockets[0].getsockname()
+        return bound[0], int(bound[1])
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------ #
+    # one connection = one request
+    # ------------------------------------------------------------------ #
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+                status, payload = await self._route(method, path, body)
+            except _HttpError as exc:
+                status, payload = exc.status, {"error": exc.message}
+            except (SessionNotFoundError,) as exc:
+                status, payload = 404, {"error": str(exc)}
+            except (ProtocolError, SessionExistsError, ValueError) as exc:
+                status, payload = 409, {"error": str(exc)}
+            except AdmissionError as exc:
+                status, payload = 503, {"error": str(exc)}
+            except Exception as exc:  # pragma: no cover - defensive 500
+                status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+            await self._respond(writer, status, payload)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - client raced the close
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        request_line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+        parts = request_line.split(" ")
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line {request_line!r}")
+        method, path, _version = parts
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _HttpError(400, f"bad Content-Length {value.strip()!r}") from None
+        if content_length > _MAX_BODY_BYTES:
+            raise _HttpError(400, f"request body too large ({content_length} bytes)")
+        raw = await reader.readexactly(content_length) if content_length else b""
+        if not raw:
+            return method.upper(), path, {}
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"request body is not valid JSON: {exc}") from None
+        if not isinstance(body, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        return method.upper(), path, body
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int, payload: Dict[str, Any]):
+        body = json.dumps(payload).encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    async def _route(self, method: str, path: str, body: Dict[str, Any]):
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        if method == "GET" and path == "/healthz":
+            return 200, {
+                "status": "ok",
+                "sessions": len(self.manager.session_ids()),
+                "stats": dict(self.manager.stats),
+            }
+        if method == "GET" and path == "/sessions":
+            return 200, {"sessions": self.manager.session_ids()}
+        segments = [s for s in path.split("/") if s]
+        if len(segments) == 2 and segments[0] == "sessions" and method == "GET":
+            return 200, await self.client.info(segments[1])
+        if len(segments) == 3 and segments[0] == "sessions" and method == "POST":
+            session_id, action = segments[1], segments[2]
+            if action == "open":
+                spec_name = body.get("spec")
+                if spec_name not in self.specs:
+                    raise _HttpError(
+                        404,
+                        f"unknown spec {spec_name!r}; registered: {sorted(self.specs)}",
+                    )
+                return 200, await self.client.open(session_id, self.specs[spec_name])
+            if action == "propose":
+                include = bool(body.get("include_features", False))
+                return 200, await self.client.propose(session_id, include_features=include)
+            if action == "observe":
+                return 200, await self.client.observe(session_id, labels=body.get("labels"))
+            if action == "close":
+                checkpoint = bool(body.get("checkpoint", True))
+                return 200, await self.client.close(session_id, checkpoint=checkpoint)
+        raise _HttpError(404, f"no route for {method} {path}")

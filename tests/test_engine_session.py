@@ -37,7 +37,7 @@ from repro.baselines.random_sampling import RandomStrategy
 from repro.core.config import RelaxConfig, RoundConfig
 from repro.core.firal import ApproxFIRAL, ExactFIRAL
 from repro.datasets.registry import build_problem
-from repro.engine.pool import PointStore
+from repro.engine.pool import DensePointStore as PointStore
 from repro.engine.session import ActiveSession, SessionConfig
 from repro.models.logistic_regression import LogisticRegressionClassifier
 from repro.models.metrics import accuracy, class_balanced_accuracy

@@ -31,7 +31,7 @@ from repro.core.approx_round import approx_round
 from repro.core.approx_relax import approx_relax
 from repro.core.firal import ApproxFIRAL
 from repro.engine import ActiveSession, SessionConfig
-from repro.engine.pool import DensePointStore, PointStore, PoolStore
+from repro.engine.pool import DensePointStore, PoolStore
 from repro.engine.stores import ShardedPointStore, StreamingPointStore
 from repro.fisher.hessian import block_diagonal_of_sum
 from repro.models.softmax import reduced_probabilities
@@ -78,7 +78,9 @@ def _run(problem, strategy, config=None, num_rounds=3, seed=0):
 # protocol / dense store
 # --------------------------------------------------------------------- #
 class TestPoolStoreProtocol:
-    def test_point_store_is_dense_alias(self):
+    def test_point_store_is_deprecated_dense_alias(self):
+        with pytest.warns(DeprecationWarning, match="DensePointStore"):
+            from repro.engine.pool import PointStore
         assert PointStore is DensePointStore
         assert issubclass(DensePointStore, PoolStore)
         assert DensePointStore.kind == "dense"

@@ -1,0 +1,105 @@
+"""``SessionConfig.validate()``: every rejection, one place, field-named errors.
+
+The API-redesign consolidation: checks that used to be scattered across
+``ActiveSession.__init__`` / store building / strategy start now live in a
+single ``validate()`` called at session construction — and callable
+standalone, so a serving layer can vet a config at admission time before
+any session state exists.  One test per rejection, each matching the
+offending field's name in the message.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import ActiveSession, SessionConfig
+from repro.engine.session import VALID_TRANSPORTS
+
+from test_engine_session import STRATEGY_FACTORIES, _small_problem
+
+
+def _reject(config: SessionConfig, match: str):
+    with pytest.raises(ValueError, match=match):
+        config.validate()
+
+
+class TestFieldRejections:
+    def test_parallel_ranks_must_be_positive(self):
+        _reject(
+            SessionConfig(parallel_ranks=0),
+            r"SessionConfig\.parallel_ranks must be positive \(got 0\)",
+        )
+
+    def test_parallel_transport_must_be_known(self):
+        assert VALID_TRANSPORTS == ("simulated", "shared_memory")
+        _reject(
+            SessionConfig(parallel_ranks=2, parallel_transport="mpi"),
+            r"SessionConfig\.parallel_transport must be one of",
+        )
+
+    def test_transport_only_checked_with_ranks(self):
+        # A bogus transport is inert without parallel_ranks — it is "only
+        # read when parallel_ranks is set" (the field's documented contract).
+        SessionConfig(parallel_transport="mpi").validate()
+
+    def test_fisher_refresh_every_must_be_positive(self):
+        _reject(
+            SessionConfig(incremental_fisher=True, fisher_refresh_every=0),
+            r"SessionConfig\.fisher_refresh_every must be positive",
+        )
+
+    def test_fisher_refresh_requires_incremental_fisher(self):
+        _reject(
+            SessionConfig(fisher_refresh_every=2),
+            r"SessionConfig\.fisher_refresh_every only applies with incremental_fisher",
+        )
+
+    def test_prefilter_must_implement_protocol(self):
+        _reject(
+            SessionConfig(prefilter=object()),
+            r"SessionConfig\.prefilter must implement",
+        )
+
+    def test_on_rank_failure_must_be_known_policy(self):
+        _reject(
+            SessionConfig(on_rank_failure="retry"),
+            r"SessionConfig\.on_rank_failure must be 'abort' or 'repartition_retry'",
+        )
+
+    def test_fault_plan_requires_parallel_ranks(self):
+        _reject(
+            SessionConfig(fault_plan=object()),
+            r"SessionConfig\.fault_plan requires parallel_ranks",
+        )
+
+    def test_checkpoint_every_must_be_positive(self):
+        _reject(
+            SessionConfig(checkpoint_every=0, checkpoint_path="x.json"),
+            r"SessionConfig\.checkpoint_every must be positive",
+        )
+
+    def test_checkpoint_every_requires_path(self):
+        _reject(
+            SessionConfig(checkpoint_every=2),
+            r"SessionConfig\.checkpoint_every requires checkpoint_path",
+        )
+
+
+class TestValidationWiring:
+    def test_validate_returns_self(self):
+        config = SessionConfig()
+        assert config.validate() is config
+
+    def test_session_construction_validates(self):
+        problem = _small_problem(seed=0)
+        with pytest.raises(ValueError, match=r"SessionConfig\.parallel_ranks"):
+            ActiveSession(
+                problem,
+                STRATEGY_FACTORIES["random"](),
+                budget_per_round=4,
+                config=SessionConfig(parallel_ranks=-1),
+            )
+
+    def test_default_config_is_valid(self):
+        SessionConfig().validate()
+        SessionConfig.fast().validate()
