@@ -13,6 +13,10 @@ instead of a local session object.  Three acts:
   restart, ``restore_on_open`` resumes the tenant from its checkpoint at
   the pre-proposal boundary and surfaces the invalidated proposal in the
   open-info payload — the client simply re-proposes;
+* **eager pipelining**: the same tenant re-run with ``pipeline="eager"`` —
+  while the "labeler" thinks, the service precomputes the next proposal,
+  so the client-observed propose latency collapses to a queue round-trip
+  (printed side by side with the sync latencies, selections identical);
 * **the HTTP front**: the same loop through ``repro.serve.HttpFrontend``
   over a real socket, with the same JSON payloads.
 
@@ -31,6 +35,7 @@ import asyncio
 import json
 import pathlib
 import tempfile
+import time
 
 from repro import ApproxFIRAL, RelaxConfig, RoundConfig, build_problem
 from repro.baselines import EntropyStrategy, FIRALStrategy
@@ -84,6 +89,20 @@ async def run_rounds(client: AsyncSessionClient, session_id: str, labeler, round
         )
 
 
+async def timed_rounds(client: AsyncSessionClient, session_id: str, labeler, think_time):
+    """Rounds with a thinking labeler; returns per-round propose latency."""
+
+    latencies, selections = [], []
+    for _ in range(ROUNDS):
+        await asyncio.sleep(think_time)  # the labeler reviews, the service works
+        tick = time.perf_counter()
+        proposal = await client.propose(session_id)
+        latencies.append(time.perf_counter() - tick)
+        selections.extend(proposal["global_ids"])
+        await client.observe(session_id, labels=labeler(proposal))
+    return latencies, selections
+
+
 async def main() -> None:
     problem = build_problem("cifar10", scale=0.05, seed=0)
     print(problem.summary())
@@ -124,6 +143,28 @@ async def main() -> None:
     )
     await run_rounds(client, "fragile", labeler)  # re-propose replays the round
     await manager.aclose()
+
+    print("\n== eager pipelining: think-time hides selection latency ==")
+    manager = SessionManager(ServeConfig(max_sessions=8, max_workers=2))
+    client = AsyncSessionClient(manager)
+    think_time = 0.6  # a (fast) labeler reviewing between batches
+    await client.open("sync-labeler", make_spec(problem, make_firal, seed=4))
+    sync_lat, sync_sel = await timed_rounds(client, "sync-labeler", labeler, think_time)
+    await client.open(
+        "eager-labeler", make_spec(problem, make_firal, seed=4), pipeline="eager"
+    )
+    eager_lat, eager_sel = await timed_rounds(client, "eager-labeler", labeler, think_time)
+    assert eager_sel == sync_sel, "eager mode must select identically"
+    for round_index, (sync_ms, eager_ms) in enumerate(zip(sync_lat, eager_lat)):
+        print(
+            f"  round {round_index}: propose latency sync {sync_ms * 1e3:7.1f}ms"
+            f"  eager {eager_ms * 1e3:6.1f}ms"
+        )
+    print(
+        f"  identical selections, {manager.stats['eager_hits']}/{ROUNDS} eager hits — "
+        "the labeler's think-time paid for the selection"
+    )
+    await manager.aclose(checkpoint=False)
 
     print("\n== the same loop over the HTTP front ==")
     manager = SessionManager(ServeConfig(max_sessions=8, max_workers=2))

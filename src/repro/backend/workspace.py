@@ -11,7 +11,8 @@ memory-pool reuse CuPy performs on the GPU.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+import threading
+from typing import Dict, Optional, Tuple
 
 from repro.backend.base import Array, ArrayBackend
 
@@ -32,12 +33,27 @@ class Workspace:
     apart.  Buffer contents are *not* zeroed on reuse — callers own the
     overwrite (every use in the library writes via ``out=`` or full-slice
     assignment).
+
+    **Thread affinity.**  A workspace has none: buffers are plain backend
+    arrays, so a solve may legally run on a different thread each round
+    (the eager-proposal pipeline computes selections on executor threads).
+    What a workspace must never see is two solves *concurrently* — buffer
+    contents are per-solve scratch, and interleaved writers would silently
+    corrupt each other.  The ownership rule is one workspace per strategy
+    instance per session (never shared across sessions), and
+    :meth:`check_out` / :meth:`check_in` turn a violation into a loud
+    ``RuntimeError`` instead of wrong numerics: solvers check the workspace
+    out for the duration of a solve, and a second concurrent check-out —
+    e.g. a strategy instance erroneously shared by two served sessions
+    whose eager proposals overlap — fails immediately.
     """
 
     def __init__(self, backend: ArrayBackend):
         self.backend = backend
         self._buffers: Dict[Tuple[str, Tuple[int, ...], str], Array] = {}
         self._touched: set = set()
+        self._guard = threading.Lock()
+        self._owner: Optional[str] = None
 
     def get(self, name: str, shape, dtype, *, zero: bool = False) -> Array:
         """Return the (possibly newly allocated) buffer for ``name``/``shape``.
@@ -57,6 +73,31 @@ class Workspace:
         if zero:
             buf[...] = 0
         return buf
+
+    def check_out(self, owner: str = "solver") -> "Workspace":
+        """Claim exclusive use of the scratch pool for one solve.
+
+        Raises ``RuntimeError`` if another solve currently holds the
+        workspace — the sharing bug this guard exists to catch (see the
+        class docstring).  Returns ``self`` so call sites can chain.
+        """
+
+        if not self._guard.acquire(blocking=False):
+            raise RuntimeError(
+                f"Workspace is already checked out by {self._owner!r}: scratch "
+                "buffers must never be shared by concurrent solves — use one "
+                "workspace (one strategy instance) per session"
+            )
+        self._owner = owner
+        return self
+
+    def check_in(self) -> None:
+        """Release the claim taken by :meth:`check_out`."""
+
+        if self._owner is None:
+            return
+        self._owner = None
+        self._guard.release()
 
     def prune(self) -> int:
         """Drop buffers not requested since the previous :meth:`prune`.

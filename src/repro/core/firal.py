@@ -57,12 +57,22 @@ class _FIRALBase:
         if initial_weights is not None:
             kwargs["initial_weights"] = initial_weights
         if solver is approx_relax:
+            workspace = None
             if self.relax_config.reuse_buffers:
                 backend = get_backend()
                 if self._workspace is None or self._workspace.backend is not backend:
                     self._workspace = Workspace(backend)
-                kwargs["workspace"] = self._workspace
-            result = solver(dataset, budget, self.relax_config, **kwargs)
+                # Claim the scratch pool for the solve: proposals may compute
+                # on executor threads (the eager pipeline), and a selector
+                # erroneously shared by two concurrent sessions must fail
+                # loudly here rather than corrupt each other's buffers.
+                workspace = self._workspace.check_out(f"{self.name} RELAX")
+                kwargs["workspace"] = workspace
+            try:
+                result = solver(dataset, budget, self.relax_config, **kwargs)
+            finally:
+                if workspace is not None:
+                    workspace.check_in()
             if self._workspace is not None:
                 # Pool-sized buffer shapes shrink as rounds label points;
                 # drop the stale shapes, keep what this round touched.

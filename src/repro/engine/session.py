@@ -54,6 +54,39 @@ never silently dropped, and re-calling :meth:`propose` on the restored
 session replays it bit-identically (unless the pool was extended first, in
 which case the replay legitimately sees the new points).
 
+Eager proposal pipelining
+-------------------------
+In a live labeling loop the wall-clock between ``observe()`` committing one
+round and the client requesting the next proposal is dead time — the
+seconds-to-minutes a human or model labeler is busy elsewhere — while the
+next ``propose()`` pays the full η-search + ROUND selection cost on the
+client's critical path.  :meth:`ActiveSession.prefetch_proposal` hides that
+latency: called at a round boundary with an executor, it kicks off the
+*exact* :meth:`propose` computation on a background thread, and the next
+:meth:`propose` call joins and **adopts** the precomputed
+:class:`QueryProposal` instead of recomputing — near-zero client-observed
+latency once the background selection has landed.  Because the background
+job runs the same code from the same state (the boundary snapshot
+machinery above guarantees rollback), the adopted proposal is
+**bit-identical** to what a synchronous ``propose()`` would have returned
+(test-pinned for every strategy in ``tests/test_engine_prefetch.py``).
+
+The prefetch is speculative, so every state change that could invalidate
+it cancels it transparently rather than serving a stale proposal:
+:meth:`extend_pool` joins the in-flight job, rolls its result back to the
+round boundary, and only then grows the pool (the next ``propose``
+recomputes over the new points); :meth:`invalidate_proposal` claims the
+prefetched proposal and discards it; :meth:`checkpoint` quiesces the job
+first and then records the pre-proposal boundary plus the
+``pending_proposal`` marker, so an eager proposal captured in a crash
+snapshot restores *invalidated-and-surfaced*, never silently dropped.
+An unclaimed prefetch is invisible to the protocol: ``pending_proposal``
+stays ``None`` and ``observe()`` still demands a surfaced proposal.  The
+session remains externally single-threaded — callers (the serving layer's
+per-session lock) must not run session methods concurrently; the prefetch
+handshake is the one sanctioned background mutation, and it is always
+joined before any other state moves.
+
 Numerics of the opt-in modes
 ----------------------------
 ``resident_pool`` only changes *where* arrays live (promotion is
@@ -406,6 +439,14 @@ class ActiveSession:
         self._accumulator: Optional[LabeledFisherAccumulator] = None
         self._frozen_probs: Optional[np.ndarray] = None
         self._pending: Optional[dict] = None
+        #: In-flight eager prefetch record (``{"future"}``) — see
+        #: :meth:`prefetch_proposal` and the module docstring.
+        self._prefetch: Optional[dict] = None
+        #: Monotonic eager-pipeline counters (surfaced by the serving layer).
+        self.prefetch_stats: dict = {"scheduled": 0, "adopted": 0, "discarded": 0}
+        #: Whether the most recent :meth:`propose` adopted a prefetched
+        #: proposal (``True``) or computed synchronously (``False``).
+        self.last_propose_prefetched = False
         #: Set by :meth:`resume` when the checkpoint carried a pending
         #: proposal: ``{"round_index", "global_ids", "num_labeled"}``.  The
         #: proposal itself is invalidated — call :meth:`propose` to replay it.
@@ -600,8 +641,14 @@ class ActiveSession:
         RELAX warm start simply falls back to a cold start on the first
         round whose pool contains ids the previous solve never weighted.
         Returns the new points' global ids.
+
+        An in-flight eager prefetch is **cancelled first** (joined and
+        rolled back to the round boundary): the precomputed proposal never
+        saw the new points, so serving it would be stale — the next
+        :meth:`propose` recomputes over the grown pool.
         """
 
+        self._discard_prefetch()
         require(
             self._pending is None,
             "cannot extend the pool while a proposal is pending — "
@@ -619,9 +666,36 @@ class ActiveSession:
     # ------------------------------------------------------------------ #
     @property
     def pending_proposal(self) -> Optional[QueryProposal]:
-        """The open :class:`QueryProposal`, or ``None`` at a round boundary."""
+        """The open :class:`QueryProposal`, or ``None`` at a round boundary.
 
+        An **unclaimed prefetch** does not count: until :meth:`propose`
+        adopts it, the eager proposal has not been surfaced to any client,
+        so the protocol still reads as "at a round boundary".
+        """
+
+        if self._prefetch is not None:
+            return None
         return None if self._pending is None else self._pending["proposal"]
+
+    @property
+    def prefetch_pending(self) -> bool:
+        """Whether an eager prefetch is scheduled and not yet adopted."""
+
+        return self._prefetch is not None
+
+    @property
+    def prefetch_future(self):
+        """The in-flight prefetch's ``Future``, or ``None``.
+
+        A serving layer can *wait* on this (e.g. from an event loop)
+        instead of dispatching :meth:`propose` to a worker that would
+        block inside :meth:`_sync_prefetch` — joining from outside keeps
+        worker slots free under saturation.  Waiting is observation only:
+        the prefetch stays unclaimed (and any failure stays stashed)
+        until :meth:`propose` adopts it.
+        """
+
+        return None if self._prefetch is None else self._prefetch["future"]
 
     def _capture_boundary(self) -> dict:
         """Snapshot the pre-proposal round boundary.
@@ -670,8 +744,15 @@ class ActiveSession:
         (or legitimately differently, if :meth:`extend_pool` ran in
         between).  Returns the discarded proposal so callers can log it —
         an invalidation is always explicit, never a silent drop.
+
+        An in-flight eager prefetch counts: the call joins it, claims its
+        proposal and discards that — the "cancel the speculative work"
+        path of the pipelining contract.
         """
 
+        if self._prefetch is not None:
+            self._sync_prefetch()
+            self._prefetch = None
         require(self._pending is not None, "no pending proposal to invalidate")
         pending = self._pending
         self._restore_boundary(pending["boundary"])
@@ -686,7 +767,115 @@ class ActiveSession:
         discards it; proposing again while one is open is an error, as is
         extending the pool.  Exactly the pre-selection half of the historic
         ``step()`` — :meth:`step` is now literally ``propose(); observe()``.
+
+        When an eager prefetch is in flight (:meth:`prefetch_proposal`),
+        this call joins it and **adopts** its precomputed proposal —
+        bit-identical to the synchronous computation, near-zero latency once
+        the background selection has landed.  A prefetch that *failed* in
+        the background left the session at the round boundary, so the
+        synchronous recompute below deterministically re-raises the same
+        error the caller would have seen in sync mode.
         """
+
+        self.last_propose_prefetched = False
+        if self._prefetch is not None:
+            self._sync_prefetch()
+            self._prefetch = None
+            if self._pending is not None:
+                self.prefetch_stats["adopted"] += 1
+                self.last_propose_prefetched = True
+                return self._pending["proposal"]
+        return self._propose_now()
+
+    def prefetch_proposal(self, executor) -> bool:
+        """Kick off the next round's :meth:`propose` on ``executor`` eagerly.
+
+        Call at a round boundary (typically right after :meth:`observe`)
+        with any ``concurrent.futures``-style executor; the next
+        :meth:`propose` adopts the precomputed proposal instead of paying
+        the selection latency.  Returns ``False`` without scheduling when
+        the session cannot run another round (pool exhausted, or the
+        planned round count is complete) — prefetching then would only
+        manufacture a doomed proposal.
+
+        The background job mutates the live session exactly as a
+        synchronous ``propose()`` would; on failure it rolls the session
+        back to the boundary snapshot and stays claimable, so the eventual
+        ``propose()`` re-raises deterministically.  All other session
+        methods join the job before touching state (see the module
+        docstring) — callers must still serialize session access
+        externally.
+        """
+
+        # The prefetch guard must run first: the background job surfaces
+        # its result into ``_pending`` the moment it lands, so with an
+        # unclaimed prefetch either guard could be the one that trips —
+        # and the unclaimed prefetch is protocol-invisible, so the error
+        # must name it, not the not-yet-adopted proposal it produced.
+        require(self._prefetch is None, "a prefetch is already in flight")
+        require(
+            self._pending is None,
+            "a proposal is already pending — observe() or invalidate_proposal() first",
+        )
+        if self.budget_per_round > self.store.pool_size:
+            return False
+        if self.planned_rounds is not None and self.round_index >= self.planned_rounds:
+            return False
+
+        def job() -> QueryProposal:
+            boundary = self._capture_boundary()
+            try:
+                return self._propose_now()
+            except BaseException:
+                # Leave the session at the round boundary so the adopting
+                # propose() can recompute (and re-raise) synchronously.
+                self._restore_boundary(boundary)
+                raise
+
+        self.prefetch_stats["scheduled"] += 1
+        self._prefetch = {"future": executor.submit(job)}
+        return True
+
+    def _sync_prefetch(self) -> None:
+        """Block until the in-flight prefetch lands (session state quiesced).
+
+        On background failure the record is dropped (the job already rolled
+        the session back to the boundary); on success ``self._prefetch``
+        stays claimable and ``self._pending`` holds the eager proposal.
+        """
+
+        pf = self._prefetch
+        if pf is None:
+            return
+        try:
+            pf["future"].result()
+        except BaseException:
+            self._prefetch = None
+
+    def _discard_prefetch(self) -> Optional[QueryProposal]:
+        """Cancel an eager prefetch: join it, roll back to the round boundary.
+
+        The transparent-invalidation half of the pipelining contract —
+        :meth:`extend_pool` (and anything else that changes what the next
+        round should see) calls this first, so a stale eager proposal is
+        never served.  Returns the discarded proposal, or ``None`` when no
+        prefetch was in flight (or it failed).
+        """
+
+        if self._prefetch is None:
+            return None
+        self._sync_prefetch()
+        self._prefetch = None
+        if self._pending is None:
+            return None
+        pending = self._pending
+        self._restore_boundary(pending["boundary"])
+        self._pending = None
+        self.prefetch_stats["discarded"] += 1
+        return pending["proposal"]
+
+    def _propose_now(self) -> QueryProposal:
+        """The synchronous :meth:`propose` body (also the prefetch job)."""
 
         cfg = self.config
         require(
@@ -832,6 +1021,10 @@ class ActiveSession:
         """
 
         cfg = self.config
+        # An unclaimed prefetch has not been surfaced to any client, so the
+        # protocol view is "no proposal open" — the caller must propose()
+        # (adopting the prefetch) before it can observe.
+        require(self._prefetch is None, "no pending proposal — call propose() first")
         require(self._pending is not None, "no pending proposal — call propose() first")
         pending = self._pending
         proposal: QueryProposal = pending["proposal"]
@@ -931,32 +1124,22 @@ class ActiveSession:
             ),
         }
 
-    def checkpoint(self, path=None) -> pathlib.Path:
-        """Write the full mid-run session state to ``path`` atomically.
+    def checkpoint_payload(self) -> dict:
+        """Capture the full resumable session state as a JSON-safe dict.
 
-        The checkpoint captures everything :meth:`resume` needs to continue
-        the run **bit-identically**: the round index, the RNG bit-generator
-        state, the accuracy curve so far, the labeled-id acquisition history
-        (plus any streamed pool extension rows), the incremental-Fisher
-        accumulator and frozen probabilities, and the strategy's own
-        selection-affecting state (``SelectionStrategy.state_dict``).  Floats
-        survive the JSON round trip exactly (``repr`` shortest round-trip),
-        and the write goes through a temp file + ``os.replace``, so a crash
-        mid-write leaves the previous checkpoint intact rather than a
-        truncated file.
+        The in-memory half of :meth:`checkpoint` — pure state serialization,
+        no I/O — so a serving layer can snapshot a session under its lock
+        and hand the payload to :meth:`write_checkpoint` on a slow disk
+        *without* holding the session (or an event loop) hostage.
 
-        Checkpointing **while a proposal is pending** is allowed: the
-        payload then describes the pre-proposal round boundary plus a
-        ``pending_proposal`` marker, which :meth:`resume` surfaces as
-        :attr:`invalidated_proposal` (see the module docstring's half-round
-        protocol section).
+        An **in-flight eager prefetch is quiesced first** (joined, left
+        claimable): the payload then carries the pre-proposal boundary plus
+        the ``pending_proposal`` marker, exactly like a checkpoint taken
+        while a client holds a proposal open — on :meth:`resume` the eager
+        proposal restores invalidated-and-surfaced, never silently dropped.
         """
 
-        target = path if path is not None else self.config.checkpoint_path
-        require(
-            target is not None,
-            "no checkpoint target: pass a path or set SessionConfig.checkpoint_path",
-        )
+        self._sync_prefetch()
         store_section = {
             "kind": self.store.kind,
             "total_points": int(self.store.total_points),
@@ -1019,7 +1202,48 @@ class ActiveSession:
                 "global_ids": [int(i) for i in proposal.global_ids],
                 "num_labeled": int(proposal.num_labeled),
             }
-        return atomic_write_json(target, payload)
+        return payload
+
+    @staticmethod
+    def write_checkpoint(payload: dict, path) -> pathlib.Path:
+        """Write a :meth:`checkpoint_payload` dict to ``path`` atomically.
+
+        The I/O half of :meth:`checkpoint`; a static method on purpose — the
+        payload is self-contained, so the write can run on any thread after
+        the capturing session has moved on.
+        """
+
+        return atomic_write_json(path, payload)
+
+    def checkpoint(self, path=None) -> pathlib.Path:
+        """Write the full mid-run session state to ``path`` atomically.
+
+        The checkpoint captures everything :meth:`resume` needs to continue
+        the run **bit-identically**: the round index, the RNG bit-generator
+        state, the accuracy curve so far, the labeled-id acquisition history
+        (plus any streamed pool extension rows), the incremental-Fisher
+        accumulator and frozen probabilities, and the strategy's own
+        selection-affecting state (``SelectionStrategy.state_dict``).  Floats
+        survive the JSON round trip exactly (``repr`` shortest round-trip),
+        and the write goes through a temp file + ``os.replace``, so a crash
+        mid-write leaves the previous checkpoint intact rather than a
+        truncated file.
+
+        Checkpointing **while a proposal is pending** is allowed: the
+        payload then describes the pre-proposal round boundary plus a
+        ``pending_proposal`` marker, which :meth:`resume` surfaces as
+        :attr:`invalidated_proposal` (see the module docstring's half-round
+        protocol section).  Composed as :meth:`checkpoint_payload` (capture)
+        + :meth:`write_checkpoint` (I/O) so callers with latency budgets can
+        run the two halves on different threads.
+        """
+
+        target = path if path is not None else self.config.checkpoint_path
+        require(
+            target is not None,
+            "no checkpoint target: pass a path or set SessionConfig.checkpoint_path",
+        )
+        return self.write_checkpoint(self.checkpoint_payload(), target)
 
     @classmethod
     def resume(

@@ -7,6 +7,7 @@ request batching, worker pool, checkpoint policies) and
 
 from repro.serve.http import HttpFrontend
 from repro.serve.service import (
+    PIPELINE_MODES,
     AdmissionError,
     AsyncSessionClient,
     ProtocolError,
@@ -23,6 +24,7 @@ __all__ = [
     "AsyncSessionClient",
     "ServeConfig",
     "SessionSpec",
+    "PIPELINE_MODES",
     "HttpFrontend",
     "ServeError",
     "AdmissionError",

@@ -13,7 +13,8 @@ Routes
 ``GET  /healthz``                       service liveness + serving counters
 ``GET  /sessions``                      ids of live sessions
 ``GET  /sessions/{sid}``                one session's info payload
-``POST /sessions/{sid}/open``           body ``{"spec": <registered name>}``
+``POST /sessions/{sid}/open``           body ``{"spec": <registered name>,
+                                        "pipeline": "sync"|"eager"}`` (optional)
 ``POST /sessions/{sid}/propose``        body ``{"include_features": bool}`` (optional)
 ``POST /sessions/{sid}/observe``        body ``{"labels": [...]}`` (optional)
 ``POST /sessions/{sid}/close``          body ``{"checkpoint": bool}`` (optional)
@@ -186,7 +187,10 @@ class HttpFrontend:
                         404,
                         f"unknown spec {spec_name!r}; registered: {sorted(self.specs)}",
                     )
-                return 200, await self.client.open(session_id, self.specs[spec_name])
+                pipeline = body.get("pipeline")
+                return 200, await self.client.open(
+                    session_id, self.specs[spec_name], pipeline=pipeline
+                )
             if action == "propose":
                 include = bool(body.get("include_features", False))
                 return 200, await self.client.propose(session_id, include_features=include)

@@ -23,7 +23,18 @@ wrap the PR 7 crash-safety machinery:
   crashed **mid-proposal** restores to the pre-proposal round boundary with
   the pending proposal *invalidated* (surfaced in the open-info payload,
   never silently dropped — see ``ActiveSession.invalidated_proposal``); the
-  client simply re-proposes.
+  client simply re-proposes.  Snapshot *capture* runs on the compute pool
+  under the session lock, but the file *write* runs on a dedicated
+  single-worker I/O executor — a slow checkpoint disk backs up only its own
+  queue, never the event loop or other tenants' requests;
+* **eager proposal pipelining** — with ``pipeline="eager"`` (per service,
+  spec, or ``open``), ``observe()`` schedules the next round's proposal
+  onto the compute pool before returning, so the labeler's think-time hides
+  the selection latency and the client's next ``propose`` adopts the
+  bit-identical precomputed result (``ActiveSession.prefetch_proposal``).
+  State changes that would make the speculative proposal stale —
+  ``invalidate_proposal``, ``extend_pool``, close/checkpoint — cancel or
+  quiesce it under the session lock; a stale proposal is never served.
 
 The service is transport-agnostic: :class:`AsyncSessionClient` is the
 in-process client speaking JSON-shaped dict payloads — the exact client
@@ -88,6 +99,10 @@ class ProtocolError(ServeError):
 #: Checkpoint policies :class:`ServeConfig.checkpoint_policy` accepts.
 CHECKPOINT_POLICIES = ("never", "round", "idle")
 
+#: Proposal pipelining policies (:class:`ServeConfig.pipeline` /
+#: :class:`SessionSpec.pipeline` / ``open_session(pipeline=...)``).
+PIPELINE_MODES = ("sync", "eager")
+
 
 @dataclass
 class ServeConfig:
@@ -128,6 +143,17 @@ class ServeConfig:
         When a client opens a session id whose checkpoint exists, resume it
         (``ActiveSession.resume``) instead of starting fresh — the
         crash-recovery path.  Requires ``checkpoint_dir``.
+    pipeline:
+        Default proposal-pipelining policy for sessions that do not choose
+        one themselves (``SessionSpec.pipeline`` or the ``open_session``
+        argument override per session).  ``"sync"`` (default): every
+        ``propose`` computes the selection on the request path.
+        ``"eager"``: after ``observe`` commits a round (and after ``open``),
+        the session's next proposal is precomputed on the worker pool, so
+        the client's ``propose`` returns the bit-identical result near
+        instantly once the background selection has landed — labeler
+        think-time hides selection latency (see the README's pipelining
+        section and ``ActiveSession.prefetch_proposal``).
     """
 
     max_sessions: int = 64
@@ -139,6 +165,7 @@ class ServeConfig:
     idle_grace_seconds: float = 0.05
     checkpoint_dir: Optional[Union[str, pathlib.Path]] = None
     restore_on_open: bool = False
+    pipeline: str = "sync"
 
     def validate(self) -> "ServeConfig":
         """Field-named validation, mirroring ``SessionConfig.validate``."""
@@ -182,6 +209,11 @@ class ServeConfig:
                 "ServeConfig.checkpoint_dir is required by "
                 f"checkpoint_policy={self.checkpoint_policy!r} / restore_on_open",
             )
+        require(
+            self.pipeline in PIPELINE_MODES,
+            f"ServeConfig.pipeline must be one of {PIPELINE_MODES} "
+            f"(got {self.pipeline!r})",
+        )
         return self
 
 
@@ -204,6 +236,9 @@ class SessionSpec:
     classifier_factory: Optional[Callable[[], Any]] = None
     seed: Any = 0
     config: Optional[SessionConfig] = None
+    #: Per-session pipelining policy (``"sync"`` / ``"eager"``); ``None``
+    #: defers to :class:`ServeConfig.pipeline`.
+    pipeline: Optional[str] = None
 
     def build(self) -> ActiveSession:
         return ActiveSession(
@@ -229,9 +264,9 @@ class SessionSpec:
 class _Slot:
     """One live session plus its serving bookkeeping."""
 
-    __slots__ = ("session", "lock", "seq", "closed", "restored")
+    __slots__ = ("session", "lock", "seq", "closed", "restored", "eager")
 
-    def __init__(self, session: ActiveSession, *, restored: bool):
+    def __init__(self, session: ActiveSession, *, restored: bool, eager: bool = False):
         self.session = session
         self.lock = asyncio.Lock()
         #: Bumped on every request touching the session; the idle-checkpoint
@@ -240,6 +275,8 @@ class _Slot:
         self.seq = 0
         self.closed = False
         self.restored = restored
+        #: Whether this session runs the eager proposal pipeline.
+        self.eager = eager
 
 
 class _BatchGate:
@@ -320,6 +357,11 @@ class SessionManager:
         self._loop = None
         self._inflight = 0
         self._idle_tasks: set = set()
+        #: Dedicated single-worker pool for checkpoint file writes: I/O never
+        #: competes with (or stalls behind) the CPU-heavy compute pool, and a
+        #: slow disk only backs up this queue — never the event loop.
+        self._io: Optional[ThreadPoolExecutor] = None
+        self._checkpoint_tasks: set = set()
         #: Monotonic serving counters (surfaced by benchmarks and ``/healthz``).
         self.stats: Dict[str, int] = {
             "proposals": 0,
@@ -330,6 +372,8 @@ class SessionManager:
             "restored_sessions": 0,
             "invalidated_proposals": 0,
             "checkpoints": 0,
+            "eager_scheduled": 0,
+            "eager_hits": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -349,6 +393,10 @@ class SessionManager:
                 self.config.batch_window_seconds,
                 self.config.batch_max_size,
                 self.stats,
+            )
+            self._io = ThreadPoolExecutor(
+                max_workers=1,
+                thread_name_prefix="repro-serve-io",
             )
         return loop
 
@@ -374,6 +422,41 @@ class SessionManager:
         if self.config.checkpoint_dir is None:
             return None
         return pathlib.Path(self.config.checkpoint_dir) / f"{session_id}.json"
+
+    def _schedule_checkpoint_write(self, payload: Dict[str, Any], path: pathlib.Path):
+        """Write a captured checkpoint payload on the I/O executor.
+
+        The capture half (``ActiveSession.checkpoint_payload``) runs under
+        the session lock; this half is pure file I/O on a self-contained
+        payload, so it runs on the dedicated single-worker I/O pool —
+        per-session writes land in capture order (one worker = FIFO), and a
+        slow disk stalls neither the event loop nor other tenants' compute.
+        Returns the awaitable write future (callers that must guarantee the
+        file exists — close, explicit checkpoint — await it; the round /
+        idle policies fire and forget, see :meth:`flush_checkpoints`).
+        """
+
+        fut = self._loop.run_in_executor(
+            self._io, lambda: ActiveSession.write_checkpoint(payload, path)
+        )
+        self._checkpoint_tasks.add(fut)
+        fut.add_done_callback(self._finish_checkpoint_write)
+        return fut
+
+    def _finish_checkpoint_write(self, fut) -> None:
+        self._checkpoint_tasks.discard(fut)
+        if not fut.cancelled() and fut.exception() is None:
+            self.stats["checkpoints"] += 1
+
+    async def flush_checkpoints(self) -> None:
+        """Wait until every scheduled background checkpoint write has landed.
+
+        Re-raises the first write failure (the scheduling path is
+        fire-and-forget, so this is where policy-write errors surface).
+        """
+
+        while self._checkpoint_tasks:
+            await asyncio.gather(*list(self._checkpoint_tasks))
 
     async def _run(self, fn):
         """Run a CPU-heavy session half on the worker pool, under admission."""
@@ -421,6 +504,7 @@ class SessionManager:
             "planned_rounds": session.planned_rounds,
             "pending_round_index": None if pending is None else int(pending.round_index),
             "restored": bool(slot.restored),
+            "pipeline": "eager" if slot.eager else "sync",
             "invalidated_proposal": (
                 None
                 if invalidated is None
@@ -432,6 +516,34 @@ class SessionManager:
             ),
         }
 
+    def _schedule_prefetch(self, slot: _Slot) -> None:
+        """Kick off the slot session's next proposal in the background.
+
+        The eager-pipeline hook: submitted **directly** to the compute pool,
+        bypassing the batch gate and admission control — the prefetch is the
+        service's own speculative work, not client traffic, and direct
+        submission guarantees the job is enqueued ahead of any later
+        ``propose()`` that will join it, so a FIFO pool cannot deadlock even
+        at ``max_workers=1``.
+        """
+
+        session = slot.session
+        if session is None or slot.closed:
+            return
+        try:
+            if session.prefetch_proposal(self._executor):
+                self.stats["eager_scheduled"] += 1
+        except ValueError:
+            # A proposal (or another prefetch) is already open — the session
+            # is not at a schedulable round boundary; nothing to do.
+            pass
+
+    @property
+    def inflight(self) -> int:
+        """Admitted propose/observe/open requests in flight (queued + running)."""
+
+        return self._inflight
+
     # ------------------------------------------------------------------ #
     # session lifecycle
     # ------------------------------------------------------------------ #
@@ -441,16 +553,32 @@ class SessionManager:
     def session_info(self, session_id: str) -> Dict[str, Any]:
         return self._info(session_id, self._slot(session_id))
 
-    async def open_session(self, session_id: str, spec: SessionSpec) -> Dict[str, Any]:
+    async def open_session(
+        self,
+        session_id: str,
+        spec: SessionSpec,
+        *,
+        pipeline: Optional[str] = None,
+    ) -> Dict[str, Any]:
         """Admit and build (or restore) one tenant session.
 
         With ``restore_on_open`` and an existing checkpoint the session
         resumes mid-run; a checkpoint taken mid-proposal resumes at the
         pre-proposal boundary with ``invalidated_proposal`` set in the
         returned info — the client's cue to re-propose.
+
+        ``pipeline`` overrides the session's proposal-pipelining policy for
+        this open (else ``spec.pipeline``, else ``ServeConfig.pipeline``).
+        An ``"eager"`` session schedules its first background proposal
+        immediately, so even the opening ``propose`` can be a pipeline hit.
         """
 
         self._ensure_loop()
+        mode = pipeline or spec.pipeline or self.config.pipeline
+        require(
+            mode in PIPELINE_MODES,
+            f"pipeline must be one of {PIPELINE_MODES} (got {mode!r})",
+        )
         if session_id in self._slots:
             raise SessionExistsError(f"session {session_id!r} is already open")
         if len(self._slots) >= int(self.config.max_sessions):
@@ -465,12 +593,16 @@ class SessionManager:
         )
         # Reserve the id before the (slow, off-loop) build so two concurrent
         # opens of the same id cannot both pass the existence check.
-        self._slots[session_id] = placeholder = _Slot(None, restored=restore)
+        self._slots[session_id] = placeholder = _Slot(
+            None, restored=restore, eager=(mode == "eager")
+        )
         try:
             async with placeholder.lock:
                 build = (lambda: spec.resume(path)) if restore else spec.build
                 session = await self._run(self._protocol(build))
                 placeholder.session = session
+                if placeholder.eager:
+                    self._schedule_prefetch(placeholder)
         except BaseException:
             self._slots.pop(session_id, None)
             raise
@@ -485,7 +617,9 @@ class SessionManager:
 
         Closing with a pending proposal is legal: the final checkpoint
         carries the pre-proposal boundary plus the ``pending_proposal``
-        marker, so a later ``open`` restores and surfaces it.
+        marker, so a later ``open`` restores and surfaces it.  An in-flight
+        eager prefetch is quiesced by the payload capture and checkpointed
+        the same way — restored invalidated-and-surfaced, never dropped.
         """
 
         slot = self._slot(session_id)
@@ -493,49 +627,85 @@ class SessionManager:
             slot.closed = True
             path = self._checkpoint_path(session_id)
             if checkpoint and path is not None:
-                await self._run(lambda: slot.session.checkpoint(path))
-                self.stats["checkpoints"] += 1
+                payload = await self._run(self._protocol(slot.session.checkpoint_payload))
+                await self._schedule_checkpoint_write(payload, path)
             info = self._info(session_id, slot)
             del self._slots[session_id]
         return info
 
     async def checkpoint_session(self, session_id: str) -> pathlib.Path:
-        """Explicitly write one session's crash-safe snapshot now."""
+        """Explicitly write one session's crash-safe snapshot now.
+
+        Capture runs on the compute pool under the session lock; the file
+        write runs on the I/O executor and is awaited — the returned path
+        exists on return, but the event loop never blocks on the disk.
+        """
 
         slot = self._slot(session_id)
         path = self._checkpoint_path(session_id)
         require(path is not None, "ServeConfig.checkpoint_dir is not configured")
         async with slot.lock:
-            written = await self._run(lambda: slot.session.checkpoint(path))
-        self.stats["checkpoints"] += 1
+            payload = await self._run(self._protocol(slot.session.checkpoint_payload))
+            written = await self._schedule_checkpoint_write(payload, path)
         return written
 
     # ------------------------------------------------------------------ #
     # the serving protocol
     # ------------------------------------------------------------------ #
     async def propose(self, session_id: str) -> QueryProposal:
-        """Run the session's ``propose()`` half on the worker pool."""
+        """Run the session's ``propose()`` half on the worker pool.
+
+        On an eager session this joins and adopts the prefetched proposal
+        when one is in flight (``stats["eager_hits"]``) — bit-identical to
+        the synchronous computation, near-zero latency once the background
+        selection has landed.  The join happens *here*, on the event loop:
+        dispatching ``session.propose`` while the prefetch still runs
+        would park a worker inside the blocking join, halving effective
+        pool parallelism under saturation.  Waiting is observation only —
+        adoption (and re-raising a stashed prefetch failure) stays inside
+        ``session.propose`` under the session lock.
+        """
 
         slot = self._slot(session_id)
         async with slot.lock:
             session = self._live(session_id, slot)
             slot.seq += 1
+            prefetch = session.prefetch_future
+            if prefetch is not None:
+                done, _ = await asyncio.wait([asyncio.wrap_future(prefetch)])
+                for waiter in done:  # consume: adoption re-raises, not the wait
+                    waiter.exception()
             proposal = await self._run(self._protocol(session.propose))
+            if session.last_propose_prefetched:
+                self.stats["eager_hits"] += 1
         self.stats["proposals"] += 1
         return proposal
 
     async def observe(self, session_id: str, labels=None) -> RoundRecord:
-        """Complete the session's pending round with the labeler's answers."""
+        """Complete the session's pending round with the labeler's answers.
+
+        On an eager session, the next round's proposal is scheduled onto the
+        compute pool before this returns — the labeler's think-time then
+        hides the selection latency.  Under ``checkpoint_policy="round"``
+        the snapshot is captured *before* the prefetch is scheduled, so the
+        round checkpoint describes the same marker-free round boundary sync
+        mode writes; the file write itself is fire-and-forget on the I/O
+        executor (see :meth:`flush_checkpoints`).
+        """
 
         slot = self._slot(session_id)
+        payload = None
         async with slot.lock:
             session = self._live(session_id, slot)
             slot.seq += 1
             record = await self._run(self._protocol(lambda: session.observe(labels)))
             self.stats["observations"] += 1
             if self.config.checkpoint_policy == "round":
-                await self._run(lambda: slot.session.checkpoint(self._checkpoint_path(session_id)))
-                self.stats["checkpoints"] += 1
+                payload = await self._run(self._protocol(session.checkpoint_payload))
+            if slot.eager:
+                self._schedule_prefetch(slot)
+        if payload is not None:
+            self._schedule_checkpoint_write(payload, self._checkpoint_path(session_id))
         if self.config.checkpoint_policy == "idle":
             self._schedule_idle_checkpoint(session_id, slot)
         return record
@@ -562,8 +732,10 @@ class SessionManager:
         async with slot.lock:
             if slot.closed or slot.seq != seq:
                 return
-            await self._run(lambda: slot.session.checkpoint(self._checkpoint_path(session_id)))
-            self.stats["checkpoints"] += 1
+            payload = await self._run(self._protocol(slot.session.checkpoint_payload))
+        # Write outside the lock: a slow disk must not serialize against the
+        # session's next request (this task already runs off the hot path).
+        await self._schedule_checkpoint_write(payload, self._checkpoint_path(session_id))
 
     # ------------------------------------------------------------------ #
     # shutdown
@@ -576,6 +748,7 @@ class SessionManager:
                 await self.close_session(session_id, checkpoint=checkpoint)
         for task in list(self._idle_tasks):
             task.cancel()
+        await self.flush_checkpoints()
         if self._gate is not None:
             self._gate.drain()
         if self._executor is not None:
@@ -583,6 +756,9 @@ class SessionManager:
             self._executor = None
             self._gate = None
             self._loop = None
+        if self._io is not None:
+            self._io.shutdown(wait=True)
+            self._io = None
 
 
 class AsyncSessionClient:
@@ -599,8 +775,14 @@ class AsyncSessionClient:
     def __init__(self, manager: SessionManager):
         self.manager = manager
 
-    async def open(self, session_id: str, spec: SessionSpec) -> Dict[str, Any]:
-        return await self.manager.open_session(session_id, spec)
+    async def open(
+        self,
+        session_id: str,
+        spec: SessionSpec,
+        *,
+        pipeline: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        return await self.manager.open_session(session_id, spec, pipeline=pipeline)
 
     async def propose(self, session_id: str, *, include_features: bool = False) -> Dict[str, Any]:
         proposal = await self.manager.propose(session_id)

@@ -296,6 +296,9 @@ class TestCheckpointPolicies:
             try:
                 await manager.open_session("a", _spec(problem))
                 await _serve_rounds(manager, "a", 2)
+                # Policy writes are fire-and-forget on the I/O executor —
+                # flush before asserting they all landed.
+                await manager.flush_checkpoints()
                 assert (tmp_path / "a.json").exists()
                 assert manager.stats["checkpoints"] == 2
             finally:
